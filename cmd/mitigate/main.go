@@ -1,0 +1,143 @@
+// Command mitigate runs one of the paper's benchmarks under the
+// baseline, SIM, and AIM policies on a simulated machine and compares
+// the reliability metrics — the end-to-end workflow of the paper.
+//
+// Usage:
+//
+//	mitigate -machine ibmqx4 -bench bv-4A -shots 32000
+//	mitigate -machine ibmq-melbourne -bench qaoa-6 -shots 32000 -modes 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"biasmit/internal/bitstring"
+	"biasmit/internal/core"
+	"biasmit/internal/device"
+	"biasmit/internal/dist"
+	"biasmit/internal/experiments"
+	"biasmit/internal/kernels"
+	"biasmit/internal/metrics"
+	"biasmit/internal/persist"
+	"biasmit/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mitigate: ")
+
+	machineName := flag.String("machine", "ibmqx4", "machine model: ibmqx2, ibmqx4, ibmq-melbourne")
+	benchName := flag.String("bench", "bv-4A", "benchmark: bv-4A, bv-4B, bv-6, bv-7, qaoa-4A, qaoa-4B, qaoa-6, qaoa-7, or bv:<key>")
+	shots := flag.Int("shots", 32000, "trials per policy")
+	seed := flag.Int64("seed", 1, "random seed")
+	modes := flag.Int("modes", 4, "SIM inversion-string count (1, 2, 4, or 8)")
+	canary := flag.Float64("canary", 0.25, "AIM canary fraction")
+	k := flag.Int("k", 4, "AIM adaptive string count")
+	profileShots := flag.Int("profile-shots", 4096, "RBMS profiling trials per state/window")
+	profileFile := flag.String("profile", "", "load a saved RBMS profile (from characterize -out) instead of profiling")
+	flag.Parse()
+
+	dev, ok := device.ByName(*machineName)
+	if !ok {
+		log.Fatalf("unknown machine %q", *machineName)
+	}
+	bench, err := lookupBenchmark(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := core.NewMachine(dev)
+	job, err := core.NewJob(bench.Circuit, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s: %d qubits, layout %v, %d swaps, %d trials/policy\n\n",
+		bench.Name, dev.Name, bench.Width(), job.Plan.InitialLayout, job.Plan.SwapCount, *shots)
+
+	base, err := job.Baseline(*shots, *seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strings, err := core.StandardInversionStrings(bench.Width(), *modes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := core.SIM(job, strings, *shots, *seed+2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var rbms core.RBMS
+	if *profileFile != "" {
+		f, err := os.Open(*profileFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var meta persist.RBMSMeta
+		rbms, meta, err = persist.LoadRBMS(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if meta.Machine != "" && meta.Machine != dev.Name {
+			log.Fatalf("profile was learned on %s, not %s", meta.Machine, dev.Name)
+		}
+		if rbms.Width != bench.Width() {
+			log.Fatalf("profile covers %d qubits but %s outputs %d bits", rbms.Width, bench.Name, bench.Width())
+		}
+		fmt.Printf("loaded %s RBMS profile from %s\n", meta.Method, *profileFile)
+	} else {
+		prof := job.Profiler()
+		if bench.Width() <= 5 {
+			rbms, err = prof.BruteForce(*profileShots, *seed+3)
+		} else {
+			rbms, err = prof.AWCT(4, 2, *profileShots*4, *seed+3)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	aim, err := core.AIM(job, rbms, core.AIMConfig{CanaryFraction: *canary, K: *k}, *shots, *seed+4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	row := func(name string, counts *dist.Counts) []string {
+		d := counts.Dist()
+		lo, hi := counts.WilsonInterval(bench.Correct[0], 1.96)
+		return []string{
+			name,
+			report.Pct(metrics.PSTEquiv(d, bench.Correct...)),
+			fmt.Sprintf("[%s, %s]", report.Pct(lo), report.Pct(hi)),
+			report.F(metrics.IST(d, bench.Correct...)),
+			fmt.Sprint(metrics.ROCA(d, bench.Correct...)),
+		}
+	}
+	fmt.Fprint(os.Stdout, report.Table(
+		[]string{"policy", "PST", "95% CI", "IST", "ROCA"},
+		[][]string{
+			row("baseline", base),
+			row(fmt.Sprintf("SIM (%d modes)", *modes), sim.Merged),
+			row("AIM", aim.Merged),
+		},
+	))
+	fmt.Printf("\ncorrect output(s): %v\n", bench.Correct)
+	fmt.Printf("machine's strongest state: %v; AIM candidates:\n", aim.Strongest)
+	for _, c := range aim.Candidates {
+		fmt.Printf("  output %v  likelihood %.3f  inversion %v\n", c.Output, c.Likelihood, c.Inversion)
+	}
+}
+
+func lookupBenchmark(name string) (kernels.Benchmark, error) {
+	if len(name) > 3 && name[:3] == "bv:" {
+		key, err := bitstring.Parse(name[3:])
+		if err != nil {
+			return kernels.Benchmark{}, fmt.Errorf("bad bv key: %w", err)
+		}
+		return kernels.BV(name, key), nil
+	}
+	return experiments.BenchmarkByName(name)
+}

@@ -1,0 +1,87 @@
+// Command qasmrun executes an OpenQASM 2.0 program on a simulated
+// machine model, optionally under an Invert-and-Measure policy, and
+// prints the measured distribution.
+//
+// Usage:
+//
+//	qasmrun -file circuit.qasm -machine ibmqx4 -shots 8192
+//	qasmrun -file circuit.qasm -machine ibmq-melbourne -policy sim
+//	cat circuit.qasm | qasmrun -machine ibmqx2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"biasmit/internal/core"
+	"biasmit/internal/device"
+	"biasmit/internal/dist"
+	"biasmit/internal/qasm"
+	"biasmit/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qasmrun: ")
+
+	file := flag.String("file", "", "QASM source file (default: stdin)")
+	machineName := flag.String("machine", "ibmqx4", "machine model: ibmqx2, ibmqx4, ibmq-melbourne")
+	shots := flag.Int("shots", 8192, "number of trials")
+	seed := flag.Int64("seed", 1, "random seed")
+	policy := flag.String("policy", "baseline", "measurement policy: baseline, sim")
+	top := flag.Int("top", 10, "how many outcomes to print")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if *file != "" {
+		src, err = os.ReadFile(*file)
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		log.Fatalf("reading source: %v", err)
+	}
+
+	c, err := qasm.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, ok := device.ByName(*machineName)
+	if !ok {
+		log.Fatalf("unknown machine %q", *machineName)
+	}
+	job, err := core.NewJob(c, core.NewMachine(dev))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var counts *dist.Counts
+	switch *policy {
+	case "baseline":
+		counts, err = job.Baseline(*shots, *seed)
+	case "sim":
+		var res *core.SIMResult
+		res, err = core.SIM4(job, *shots, *seed)
+		if res != nil {
+			counts = res.Merged
+		}
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	d := counts.Dist()
+	fmt.Printf("%s on %s (%s), %d trials, layout %v, %d swaps\n\n",
+		c.Name, dev.Name, *policy, *shots, job.Plan.InitialLayout, job.Plan.SwapCount)
+	var rows [][]string
+	for _, b := range d.TopK(*top) {
+		rows = append(rows, []string{b.String(), fmt.Sprint(counts.Get(b)), report.F(d.Prob(b))})
+	}
+	fmt.Print(report.Table([]string{"outcome", "count", "probability"}, rows))
+}

@@ -1,0 +1,15 @@
+// Package biasmit is a complete Go reproduction of "Mitigating
+// Measurement Errors in Quantum Computers by Exploiting State-Dependent
+// Bias" (Tannu & Qureshi, MICRO-52, 2019), together with every substrate
+// the paper depends on: a noisy NISQ simulator, calibrated models of the
+// ibmqx2 / ibmqx4 / ibmq-melbourne machines, a variability-aware
+// transpiler, the Bernstein-Vazirani and QAOA workloads, and a harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// The module's packages live under internal/; the supported entry points
+// are the command-line tools under cmd/ (qsim, characterize, mitigate,
+// qasmrun, paperfigs), the runnable programs under examples/, and the
+// benchmark harness in bench_test.go. Start with README.md for a tour,
+// DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for the paper-vs-measured results.
+package biasmit

@@ -1,0 +1,3 @@
+module biasmit
+
+go 1.22

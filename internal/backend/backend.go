@@ -1,0 +1,302 @@
+// Package backend executes circuits on device models under the NISQ trial
+// loop (paper Fig 3a): initialize, run the program, read the qubits, log
+// the output, repeat for thousands of trials.
+//
+// Noise is simulated with stochastic quantum trajectories: after every
+// gate a depolarizing Pauli kick is sampled with the calibrated gate
+// error, and the operand qubits undergo amplitude-damping jumps for the
+// gate duration (T1 relaxation). Readout is then corrupted by the
+// device's classical readout channel — the asymmetric, possibly
+// correlated process the paper characterizes and mitigates. Individual
+// noise processes can be disabled for ablation studies.
+//
+// Trajectories are re-sampled throughout the run; several shots may share
+// one trajectory (ShotsPerTrajectory) since measurement sampling without
+// collapse is equivalent to re-preparing the same noisy execution. This
+// trades shot independence for speed on larger registers and converges to
+// the same distribution as the trajectory count grows.
+package backend
+
+import (
+	"fmt"
+	"math/rand"
+
+	"biasmit/internal/bitstring"
+	"biasmit/internal/circuit"
+	"biasmit/internal/device"
+	"biasmit/internal/dist"
+	"biasmit/internal/noise"
+	"biasmit/internal/quantum"
+	"biasmit/internal/schedule"
+)
+
+// Options configures a backend run.
+type Options struct {
+	// Shots is the number of trials (required, > 0).
+	Shots int
+	// Seed makes the run deterministic.
+	Seed int64
+	// ShotsPerTrajectory bounds how many shots reuse one noisy
+	// trajectory. Zero selects a size-dependent default (1 for ≤8 qubits,
+	// 32 beyond).
+	ShotsPerTrajectory int
+	// NoGateNoise disables depolarizing gate errors (ablation).
+	NoGateNoise bool
+	// NoDecay disables T1 amplitude damping during gates (ablation).
+	NoDecay bool
+	// NoReadoutError disables the classical readout channel (ablation).
+	NoReadoutError bool
+	// ScheduleAwareDecay additionally relaxes qubits through their idle
+	// windows in the ASAP schedule (not only while gates act on them),
+	// so poorly packed circuits lose high-Hamming-weight amplitude while
+	// waiting for measurement. Ignored when NoDecay is set.
+	ScheduleAwareDecay bool
+	// Workers runs the trial loop across this many goroutines, splitting
+	// the shot budget into per-worker chunks with derived seeds. Results
+	// are deterministic for a fixed (Seed, Workers) pair but differ
+	// between worker counts, since the random streams are partitioned
+	// differently. Zero or one keeps the sequential path.
+	Workers int
+	// IdleInversion inserts an X–X pair at the midpoint of every idle
+	// window (requires ScheduleAwareDecay): the qubit spends half its
+	// wait inverted, so T1 relaxation attacks |0⟩ and |1⟩ equally instead
+	// of only draining |1⟩ — the paper's state-averaging philosophy
+	// applied to idle decoherence rather than readout. The two extra X
+	// gates pay their own gate-error and duration cost.
+	IdleInversion bool
+}
+
+func (o Options) withDefaults(numQubits int) Options {
+	if o.ShotsPerTrajectory <= 0 {
+		if numQubits <= 8 {
+			o.ShotsPerTrajectory = 1
+		} else {
+			o.ShotsPerTrajectory = 32
+		}
+	}
+	return o
+}
+
+// Run executes c on dev and returns the histogram of measured outcomes
+// over all device qubits. The circuit must already be expressed on
+// physical qubits: its register must match the device size, and every
+// two-qubit gate must act on a coupled pair (use internal/transpile to
+// map logical circuits first).
+func Run(c *circuit.Circuit, dev *device.Device, opt Options) (*dist.Counts, error) {
+	if c.NumQubits != dev.NumQubits {
+		return nil, fmt.Errorf("backend: circuit register %d does not match device %s with %d qubits",
+			c.NumQubits, dev.Name, dev.NumQubits)
+	}
+	if opt.Shots <= 0 {
+		return nil, fmt.Errorf("backend: shots must be positive, got %d", opt.Shots)
+	}
+	if err := checkConnectivity(c, dev); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults(dev.NumQubits)
+
+	readout := dev.ReadoutModel()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	counts := dist.NewCounts(dev.NumQubits)
+
+	var idle *idlePlan
+	if opt.ScheduleAwareDecay && !opt.NoDecay {
+		before, final, err := schedule.PerOpIdle(c, dev)
+		if err != nil {
+			return nil, err
+		}
+		idle = &idlePlan{before: before, final: final}
+	}
+
+	if opt.Workers > 1 {
+		return runParallel(c, dev, opt, idle, readout)
+	}
+	runShots(c, dev, opt, idle, readout, opt.Shots, rng, counts)
+	return counts, nil
+}
+
+// runShots executes the trial loop sequentially into counts.
+func runShots(c *circuit.Circuit, dev *device.Device, opt Options, idle *idlePlan,
+	readout *noise.ReadoutModel, shots int, rng *rand.Rand, counts *dist.Counts) {
+	remaining := shots
+	for remaining > 0 {
+		batch := opt.ShotsPerTrajectory
+		if batch > remaining {
+			batch = remaining
+		}
+		state := runTrajectory(c, dev, opt, idle, rng)
+		for i := 0; i < batch; i++ {
+			out := state.Sample(rng)
+			if !opt.NoReadoutError {
+				out = readout.Apply(out, rng)
+			}
+			counts.Add(out, 1)
+		}
+		remaining -= batch
+	}
+}
+
+// runParallel fans the trial budget out across opt.Workers goroutines,
+// each with a seed derived from (opt.Seed, worker index), and merges the
+// per-worker histograms in worker order so the result is a pure function
+// of (circuit, device, options).
+func runParallel(c *circuit.Circuit, dev *device.Device, opt Options,
+	idle *idlePlan, readout *noise.ReadoutModel) (*dist.Counts, error) {
+	workers := opt.Workers
+	if workers > opt.Shots {
+		workers = opt.Shots
+	}
+	chunk := opt.Shots / workers
+	rem := opt.Shots % workers
+	partial := make([]*dist.Counts, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		shots := chunk
+		if w < rem {
+			shots++
+		}
+		go func(w, shots int) {
+			local := dist.NewCounts(dev.NumQubits)
+			rng := rand.New(rand.NewSource(workerSeed(opt.Seed, w)))
+			runShots(c, dev, opt, idle, readout, shots, rng, local)
+			partial[w] = local
+			done <- w
+		}(w, shots)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	counts := dist.NewCounts(dev.NumQubits)
+	for _, p := range partial {
+		counts.Merge(p)
+	}
+	return counts, nil
+}
+
+// workerSeed derives decorrelated per-worker seeds (splitmix64 step).
+func workerSeed(seed int64, worker int) int64 {
+	x := uint64(seed) + 0x9E3779B97F4A7C15*uint64(worker+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x & (1<<63 - 1))
+}
+
+// idlePlan holds the precomputed schedule gaps for schedule-aware decay.
+type idlePlan struct {
+	before [][]schedule.QubitGap // per op, gaps ending at that op
+	final  []schedule.QubitGap   // gaps ending at measurement
+}
+
+// runTrajectory simulates one noisy execution of the circuit.
+func runTrajectory(c *circuit.Circuit, dev *device.Device, opt Options, idle *idlePlan, rng *rand.Rand) *quantum.State {
+	state := quantum.NewState(dev.NumQubits)
+	for i, op := range c.Ops {
+		if idle != nil {
+			for _, gap := range idle.before[i] {
+				applyIdleGap(state, dev, opt, gap, rng)
+			}
+		}
+		circuit.ApplyOp(state, op)
+		if op.Kind == circuit.Barrier {
+			continue
+		}
+		applyGateNoise(state, dev, op, opt, rng)
+	}
+	if idle != nil {
+		for _, gap := range idle.final {
+			applyIdleGap(state, dev, opt, gap, rng)
+		}
+	}
+	return state
+}
+
+// applyIdleGap relaxes a qubit through one idle window, optionally with
+// an inversion pair straddling the midpoint (Options.IdleInversion).
+func applyIdleGap(state *quantum.State, dev *device.Device, opt Options, gap schedule.QubitGap, rng *rand.Rand) {
+	q := gap.Qubit
+	t1 := dev.Qubits[q].T1
+	// Idle inversion only pays off when the gap dwarfs the two X gates.
+	if opt.IdleInversion && gap.Duration > 4*dev.Gate1Duration {
+		half := (gap.Duration - 2*dev.Gate1Duration) / 2
+		state.ApplyAmplitudeDamping(q, noise.DecayProb(half, t1), rng)
+		state.ApplyPauli(quantum.PauliX, q)
+		if !opt.NoGateNoise {
+			state.ApplyPauli(noise.SamplePauli1(dev.Qubits[q].Gate1Error, rng), q)
+		}
+		state.ApplyAmplitudeDamping(q, noise.DecayProb(dev.Gate1Duration, t1), rng)
+		state.ApplyAmplitudeDamping(q, noise.DecayProb(half, t1), rng)
+		state.ApplyPauli(quantum.PauliX, q)
+		if !opt.NoGateNoise {
+			state.ApplyPauli(noise.SamplePauli1(dev.Qubits[q].Gate1Error, rng), q)
+		}
+		state.ApplyAmplitudeDamping(q, noise.DecayProb(dev.Gate1Duration, t1), rng)
+		return
+	}
+	state.ApplyAmplitudeDamping(q, noise.DecayProb(gap.Duration, t1), rng)
+}
+
+func applyGateNoise(state *quantum.State, dev *device.Device, op circuit.Op, opt Options, rng *rand.Rand) {
+	duration := dev.Gate1Duration
+	if op.IsTwoQubit() {
+		duration = dev.Gate2Duration
+		if op.Kind == circuit.SwapOp {
+			duration = 3 * dev.Gate2Duration // SWAP decomposes into 3 CNOTs
+		}
+	}
+	if !opt.NoGateNoise {
+		if op.IsTwoQubit() {
+			p2, err := dev.Gate2Error(op.Qubits[0], op.Qubits[1])
+			if err != nil {
+				// Connectivity was validated before the run.
+				panic(err)
+			}
+			if op.Kind == circuit.SwapOp {
+				p2 = 1 - (1-p2)*(1-p2)*(1-p2)
+			}
+			pa, pb := noise.SamplePauli2(p2, rng)
+			state.ApplyPauli(pa, op.Qubits[0])
+			state.ApplyPauli(pb, op.Qubits[1])
+		} else {
+			q := op.Qubits[0]
+			state.ApplyPauli(noise.SamplePauli1(dev.Qubits[q].Gate1Error, rng), q)
+		}
+	}
+	if !opt.NoDecay {
+		for _, q := range op.Qubits {
+			gamma := noise.DecayProb(duration, dev.Qubits[q].T1)
+			state.ApplyAmplitudeDamping(q, gamma, rng)
+		}
+	}
+}
+
+// checkConnectivity verifies every two-qubit op acts on a coupled pair.
+func checkConnectivity(c *circuit.Circuit, dev *device.Device) error {
+	for i, op := range c.Ops {
+		if !op.IsTwoQubit() {
+			continue
+		}
+		if !dev.Connected(op.Qubits[0], op.Qubits[1]) {
+			return fmt.Errorf("backend: op %d (%s) acts on uncoupled qubits %d,%d of %s",
+				i, op.Label, op.Qubits[0], op.Qubits[1], dev.Name)
+		}
+	}
+	return nil
+}
+
+// RunIdeal returns the exact error-free output distribution of c — the
+// reference the paper calls the "ideal quantum computer" (Fig 3b). Cost
+// is one state-vector simulation.
+func RunIdeal(c *circuit.Circuit) dist.Dist {
+	state := c.Simulate()
+	probs := state.Probabilities()
+	d := dist.NewDist(c.NumQubits)
+	for i, p := range probs {
+		if p > 1e-15 {
+			d.P[bitstring.New(uint64(i), c.NumQubits)] = p
+		}
+	}
+	return d
+}

@@ -1,0 +1,233 @@
+// Package bitstring provides fixed-width classical bit strings as they
+// appear in quantum measurement records: outcomes of reading an n-qubit
+// register, inversion strings applied before measurement, and secret keys
+// of oracle problems.
+//
+// A Bits value packs up to 64 bits into a uint64 together with an explicit
+// width, so that "00101" and "101" are distinct values. Bit 0 is the least
+// significant bit and, by the convention used throughout this module,
+// corresponds to qubit 0. The String form prints the most significant bit
+// first, matching the basis-state labels used in the paper (e.g. "00000"
+// to "11111" for five qubits).
+package bitstring
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// MaxWidth is the largest register width representable by Bits.
+const MaxWidth = 64
+
+// Bits is a fixed-width string of classical bits.
+type Bits struct {
+	value uint64
+	width int
+}
+
+// New returns a Bits of the given width holding value. Bits of value above
+// the width are truncated. It panics if width is negative or exceeds
+// MaxWidth; widths are structural program constants, so a bad width is a
+// programming error rather than a runtime condition.
+func New(value uint64, width int) Bits {
+	if width < 0 || width > MaxWidth {
+		panic(fmt.Sprintf("bitstring: width %d out of range [0,%d]", width, MaxWidth))
+	}
+	return Bits{value: value & mask(width), width: width}
+}
+
+// Parse converts a string such as "01011" into a Bits value. The leftmost
+// character is the most significant bit. Only '0' and '1' are permitted.
+func Parse(s string) (Bits, error) {
+	if len(s) == 0 {
+		return Bits{}, fmt.Errorf("bitstring: empty string")
+	}
+	if len(s) > MaxWidth {
+		return Bits{}, fmt.Errorf("bitstring: string %q longer than %d bits", s, MaxWidth)
+	}
+	var v uint64
+	for _, c := range s {
+		switch c {
+		case '0':
+			v <<= 1
+		case '1':
+			v = v<<1 | 1
+		default:
+			return Bits{}, fmt.Errorf("bitstring: invalid character %q in %q", c, s)
+		}
+	}
+	return Bits{value: v, width: len(s)}, nil
+}
+
+// MustParse is Parse for compile-time constants; it panics on error.
+func MustParse(s string) Bits {
+	b, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Zeros returns the all-zero string of the given width.
+func Zeros(width int) Bits { return New(0, width) }
+
+// Ones returns the all-one string of the given width.
+func Ones(width int) Bits { return New(mask(width), width) }
+
+// Alternating returns the width-wide string whose bit i equal to one when
+// i has the parity given by oddBits: Alternating(5, false) = "10101"
+// (even bit positions set), Alternating(5, true) = "01010".
+// These are the partial-inversion strings used by the four-mode SIM policy.
+func Alternating(width int, oddBits bool) Bits {
+	var v uint64
+	for i := 0; i < width; i++ {
+		if (i%2 == 1) == oddBits {
+			v |= 1 << uint(i)
+		}
+	}
+	return New(v, width)
+}
+
+// Uint64 returns the packed value of b.
+func (b Bits) Uint64() uint64 { return b.value }
+
+// Width returns the number of bits in b.
+func (b Bits) Width() int { return b.width }
+
+// Bit reports whether bit i (qubit i, least-significant first) is set.
+func (b Bits) Bit(i int) bool {
+	if i < 0 || i >= b.width {
+		panic(fmt.Sprintf("bitstring: bit index %d out of range for width %d", i, b.width))
+	}
+	return b.value>>uint(i)&1 == 1
+}
+
+// SetBit returns a copy of b with bit i set to v.
+func (b Bits) SetBit(i int, v bool) Bits {
+	if i < 0 || i >= b.width {
+		panic(fmt.Sprintf("bitstring: bit index %d out of range for width %d", i, b.width))
+	}
+	if v {
+		b.value |= 1 << uint(i)
+	} else {
+		b.value &^= 1 << uint(i)
+	}
+	return b
+}
+
+// HammingWeight returns the number of set bits. The paper's central
+// observation is that measurement fidelity falls as this grows.
+func (b Bits) HammingWeight() int { return bits.OnesCount64(b.value) }
+
+// HammingDistance returns the number of differing bit positions between b
+// and o. It panics if the widths differ.
+func (b Bits) HammingDistance(o Bits) int {
+	b.mustMatch(o)
+	return bits.OnesCount64(b.value ^ o.value)
+}
+
+// Invert returns the bitwise complement of b within its width. This is the
+// classical post-correction applied after a fully inverted measurement.
+func (b Bits) Invert() Bits {
+	b.value = ^b.value & mask(b.width)
+	return b
+}
+
+// Xor returns b XOR o. Applying an inversion string to a measured outcome
+// is exactly this operation. It panics if the widths differ.
+func (b Bits) Xor(o Bits) Bits {
+	b.mustMatch(o)
+	b.value ^= o.value
+	return b
+}
+
+// Slice returns bits [lo, hi) of b as a new Bits of width hi-lo, with bit
+// lo becoming bit 0 of the result. It is used by the sliding-window RBMS
+// characterization (AWCT) to extract window substrings.
+func (b Bits) Slice(lo, hi int) Bits {
+	if lo < 0 || hi > b.width || lo > hi {
+		panic(fmt.Sprintf("bitstring: slice [%d,%d) out of range for width %d", lo, hi, b.width))
+	}
+	return New(b.value>>uint(lo), hi-lo)
+}
+
+// Concat returns the string formed by o occupying the high bits above b:
+// bit i of b stays bit i, bit j of o becomes bit b.width+j.
+func (b Bits) Concat(o Bits) Bits {
+	if b.width+o.width > MaxWidth {
+		panic(fmt.Sprintf("bitstring: concat width %d exceeds %d", b.width+o.width, MaxWidth))
+	}
+	return New(b.value|o.value<<uint(b.width), b.width+o.width)
+}
+
+// String renders b most-significant bit first, e.g. New(0b00101,5) → "00101".
+func (b Bits) String() string {
+	if b.width == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.Grow(b.width)
+	for i := b.width - 1; i >= 0; i-- {
+		if b.value>>uint(i)&1 == 1 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Less orders Bits by width, then by value. It provides a stable total
+// order for deterministic iteration over maps keyed by Bits.
+func (b Bits) Less(o Bits) bool {
+	if b.width != o.width {
+		return b.width < o.width
+	}
+	return b.value < o.value
+}
+
+func (b Bits) mustMatch(o Bits) {
+	if b.width != o.width {
+		panic(fmt.Sprintf("bitstring: width mismatch %d vs %d", b.width, o.width))
+	}
+}
+
+func mask(width int) uint64 {
+	if width == 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(width) - 1
+}
+
+// All returns every width-wide bit string in ascending numeric order.
+// It panics for widths above 30 to guard against accidental exponential
+// allocations; characterization code that needs larger registers must use
+// windowed techniques instead (see the paper's Appendix A).
+func All(width int) []Bits {
+	if width > 30 {
+		panic(fmt.Sprintf("bitstring: All(%d) would allocate 2^%d values", width, width))
+	}
+	out := make([]Bits, 1<<uint(width))
+	for v := range out {
+		out[v] = New(uint64(v), width)
+	}
+	return out
+}
+
+// AllByHammingWeight returns every width-wide bit string ordered by
+// ascending Hamming weight, with numeric order breaking ties. This is the
+// x-axis ordering used by the paper's basis-state figures (Figs 4, 6, 9,
+// 11, 13).
+func AllByHammingWeight(width int) []Bits {
+	out := All(width)
+	sort.SliceStable(out, func(i, j int) bool {
+		wi, wj := out[i].HammingWeight(), out[j].HammingWeight()
+		if wi != wj {
+			return wi < wj
+		}
+		return out[i].value < out[j].value
+	})
+	return out
+}

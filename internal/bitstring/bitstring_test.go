@@ -1,0 +1,271 @@
+package bitstring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndString(t *testing.T) {
+	cases := []struct {
+		s     string
+		value uint64
+		width int
+	}{
+		{"0", 0, 1},
+		{"1", 1, 1},
+		{"00000", 0, 5},
+		{"11111", 31, 5},
+		{"00101", 5, 5},
+		{"10000", 16, 5},
+		{"101011", 43, 6},
+	}
+	for _, c := range cases {
+		b, err := Parse(c.s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.s, err)
+		}
+		if b.Uint64() != c.value || b.Width() != c.width {
+			t.Errorf("Parse(%q) = (%d,%d), want (%d,%d)", c.s, b.Uint64(), b.Width(), c.value, c.width)
+		}
+		if got := b.String(); got != c.s {
+			t.Errorf("String() = %q, want %q", got, c.s)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "012", "abc", "1 0", string(make([]byte, 65))} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestNewTruncates(t *testing.T) {
+	b := New(0xFF, 4)
+	if b.Uint64() != 0xF {
+		t.Errorf("New(0xFF,4) = %d, want 15", b.Uint64())
+	}
+}
+
+func TestNewPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []int{-1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(_, %d) did not panic", w)
+				}
+			}()
+			New(0, w)
+		}()
+	}
+}
+
+func TestZerosOnesAlternating(t *testing.T) {
+	if got := Zeros(5).String(); got != "00000" {
+		t.Errorf("Zeros(5) = %q", got)
+	}
+	if got := Ones(5).String(); got != "11111" {
+		t.Errorf("Ones(5) = %q", got)
+	}
+	if got := Alternating(5, false).String(); got != "10101" {
+		t.Errorf("Alternating(5,false) = %q", got)
+	}
+	if got := Alternating(5, true).String(); got != "01010" {
+		t.Errorf("Alternating(5,true) = %q", got)
+	}
+	if got := Ones(64); got.HammingWeight() != 64 {
+		t.Errorf("Ones(64) weight = %d", got.HammingWeight())
+	}
+}
+
+func TestBitAndSetBit(t *testing.T) {
+	b := MustParse("00101")
+	wantSet := []bool{true, false, true, false, false} // bit 0 is rightmost char
+	for i, want := range wantSet {
+		if got := b.Bit(i); got != want {
+			t.Errorf("Bit(%d) = %v, want %v", i, got, want)
+		}
+	}
+	b2 := b.SetBit(4, true)
+	if b2.String() != "10101" {
+		t.Errorf("SetBit(4,true) = %q, want 10101", b2.String())
+	}
+	if b.String() != "00101" {
+		t.Errorf("SetBit mutated receiver: %q", b.String())
+	}
+	b3 := b.SetBit(0, false)
+	if b3.String() != "00100" {
+		t.Errorf("SetBit(0,false) = %q, want 00100", b3.String())
+	}
+}
+
+func TestHammingWeightAndDistance(t *testing.T) {
+	if w := MustParse("101011").HammingWeight(); w != 4 {
+		t.Errorf("weight(101011) = %d, want 4", w)
+	}
+	a, b := MustParse("10101"), MustParse("01010")
+	if d := a.HammingDistance(b); d != 5 {
+		t.Errorf("distance = %d, want 5", d)
+	}
+	if d := a.HammingDistance(a); d != 0 {
+		t.Errorf("self distance = %d, want 0", d)
+	}
+}
+
+func TestInvertAndXor(t *testing.T) {
+	b := MustParse("00101")
+	if got := b.Invert().String(); got != "11010" {
+		t.Errorf("Invert = %q", got)
+	}
+	if got := b.Xor(MustParse("11111")).String(); got != "11010" {
+		t.Errorf("Xor ones = %q", got)
+	}
+	if got := b.Xor(Zeros(5)); got != b {
+		t.Errorf("Xor zeros = %v, want %v", got, b)
+	}
+}
+
+func TestSliceAndConcat(t *testing.T) {
+	b := MustParse("110010")
+	if got := b.Slice(0, 3).String(); got != "010" {
+		t.Errorf("Slice(0,3) = %q, want 010", got)
+	}
+	if got := b.Slice(3, 6).String(); got != "110" {
+		t.Errorf("Slice(3,6) = %q, want 110", got)
+	}
+	if got := b.Slice(0, 6); got != b {
+		t.Errorf("full slice = %v", got)
+	}
+	lo, hi := MustParse("010"), MustParse("110")
+	if got := lo.Concat(hi).String(); got != "110010" {
+		t.Errorf("Concat = %q, want 110010", got)
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	all := All(3)
+	if len(all) != 8 {
+		t.Fatalf("All(3) has %d entries", len(all))
+	}
+	for v, b := range all {
+		if b.Uint64() != uint64(v) || b.Width() != 3 {
+			t.Errorf("All(3)[%d] = %v", v, b)
+		}
+	}
+}
+
+func TestAllByHammingWeight(t *testing.T) {
+	ordered := AllByHammingWeight(5)
+	if len(ordered) != 32 {
+		t.Fatalf("got %d entries", len(ordered))
+	}
+	if ordered[0].String() != "00000" || ordered[31].String() != "11111" {
+		t.Errorf("endpoints: %v ... %v", ordered[0], ordered[31])
+	}
+	prev := -1
+	for _, b := range ordered {
+		if w := b.HammingWeight(); w < prev {
+			t.Fatalf("ordering violated at %v (weight %d after %d)", b, w, prev)
+		} else {
+			prev = w
+		}
+	}
+	// The paper's Fig 4 x-axis starts 00000, 00001, 00010, 00100 ...
+	if ordered[1].String() != "00001" || ordered[2].String() != "00010" || ordered[3].String() != "00100" {
+		t.Errorf("weight-1 ordering: %v %v %v", ordered[1], ordered[2], ordered[3])
+	}
+}
+
+func TestLessIsTotalOrder(t *testing.T) {
+	a, b := New(3, 5), New(4, 5)
+	if !a.Less(b) || b.Less(a) || a.Less(a) {
+		t.Error("Less is not a strict order on same width")
+	}
+	narrow, wide := New(7, 3), New(0, 5)
+	if !narrow.Less(wide) {
+		t.Error("narrower width should order first")
+	}
+}
+
+// Property: Invert is an involution.
+func TestQuickInvertInvolution(t *testing.T) {
+	f := func(v uint64, w uint8) bool {
+		width := int(w%64) + 1
+		b := New(v, width)
+		return b.Invert().Invert() == b
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Xor with a string twice restores the original (the basis of
+// SIM post-correction: measure, XOR with the inversion string, recover).
+func TestQuickXorInvolution(t *testing.T) {
+	f := func(v, s uint64, w uint8) bool {
+		width := int(w%64) + 1
+		b, inv := New(v, width), New(s, width)
+		return b.Xor(inv).Xor(inv) == b
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HammingDistance(a,b) == weight(a XOR b) and is a metric
+// (symmetry + identity).
+func TestQuickHammingMetric(t *testing.T) {
+	f := func(x, y uint64, w uint8) bool {
+		width := int(w%64) + 1
+		a, b := New(x, width), New(y, width)
+		d := a.HammingDistance(b)
+		return d == a.Xor(b).HammingWeight() && d == b.HammingDistance(a) && a.HammingDistance(a) == 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weight(b) + weight(Invert(b)) == width.
+func TestQuickInvertWeightComplement(t *testing.T) {
+	f := func(v uint64, w uint8) bool {
+		width := int(w%64) + 1
+		b := New(v, width)
+		return b.HammingWeight()+b.Invert().HammingWeight() == width
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Parse(String(b)) round-trips.
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(v uint64, w uint8) bool {
+		width := int(w%64) + 1
+		b := New(v, width)
+		got, err := Parse(b.String())
+		return err == nil && got == b
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Slice and Concat are inverse: Concat(Slice(0,k), Slice(k,w)) == b.
+func TestQuickSliceConcat(t *testing.T) {
+	f := func(v uint64, w, k uint8) bool {
+		width := int(w%64) + 1
+		cut := int(k) % (width + 1)
+		b := New(v, width)
+		return b.Slice(0, cut).Concat(b.Slice(cut, width)) == b
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+}

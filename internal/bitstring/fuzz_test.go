@@ -1,0 +1,28 @@
+package bitstring
+
+import "testing"
+
+// FuzzParse asserts Parse never panics and that accepted strings
+// round-trip through String exactly.
+func FuzzParse(f *testing.F) {
+	f.Add("0")
+	f.Add("10101")
+	f.Add("1111111111111111111111111111111111111111111111111111111111111111")
+	f.Add("")
+	f.Add("2")
+	f.Fuzz(func(t *testing.T, s string) {
+		b, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if got := b.String(); got != s {
+			t.Fatalf("round-trip %q -> %q", s, got)
+		}
+		if b.Width() != len(s) {
+			t.Fatalf("width %d for %q", b.Width(), s)
+		}
+		if b.Invert().Invert() != b {
+			t.Fatal("double inversion changed value")
+		}
+	})
+}

@@ -1,0 +1,291 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"biasmit/internal/bitstring"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBuilderAndSimulateBell(t *testing.T) {
+	c := New(2, "bell").H(0).CX(0, 1)
+	s := c.Simulate()
+	p := s.Probabilities()
+	if !approx(p[0], 0.5) || !approx(p[3], 0.5) || !approx(p[1], 0) || !approx(p[2], 0) {
+		t.Errorf("bell probabilities = %v", p)
+	}
+}
+
+func TestPrepareBasis(t *testing.T) {
+	for _, bstr := range []string{"00000", "11111", "01011", "10000"} {
+		b := bitstring.MustParse(bstr)
+		c := New(5, "prep").PrepareBasis(b)
+		s := c.Simulate()
+		if got := s.Amplitude(b); !approx(real(got), 1) {
+			t.Errorf("PrepareBasis(%s) amp = %v", bstr, got)
+		}
+	}
+}
+
+func TestApplyInversionString(t *testing.T) {
+	// Prepare |00101⟩, invert with "11111", expect |11010⟩ — the paper's
+	// Fig 1(c) workflow before post-correction.
+	b := bitstring.MustParse("00101")
+	inv := bitstring.MustParse("11111")
+	c := New(5, "inv").PrepareBasis(b).ApplyInversionString(inv)
+	s := c.Simulate()
+	if got := s.Amplitude(b.Xor(inv)); !approx(real(got), 1) {
+		t.Errorf("inverted state amp = %v", got)
+	}
+}
+
+func TestZZDiagonalPhase(t *testing.T) {
+	// ZZ(θ) must be diagonal and leave basis-state probabilities intact.
+	c := New(2, "zz").H(0).H(1).ZZ(1.1, 0, 1)
+	s := c.Simulate()
+	for i, p := range s.Probabilities() {
+		if !approx(p, 0.25) {
+			t.Errorf("P(%d) = %v, want 0.25", i, p)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := New(3, "orig").H(0).CX(0, 1)
+	cp := c.Clone()
+	cp.X(2)
+	cp.Ops[0].Qubits[0] = 2
+	if len(c.Ops) != 2 || c.Ops[0].Qubits[0] != 0 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	a := New(2, "a").H(0)
+	b := New(2, "b").CX(0, 1)
+	a.Append(b)
+	if len(a.Ops) != 2 {
+		t.Fatalf("ops = %d", len(a.Ops))
+	}
+	p := a.Simulate().Probabilities()
+	if !approx(p[0], 0.5) || !approx(p[3], 0.5) {
+		t.Errorf("appended bell = %v", p)
+	}
+}
+
+func TestRemap(t *testing.T) {
+	c := New(2, "bell").H(0).CX(0, 1)
+	m := c.Remap([]int{3, 1}, 5)
+	if m.NumQubits != 5 {
+		t.Fatalf("remapped size = %d", m.NumQubits)
+	}
+	s := m.Simulate()
+	// Qubits 3 and 1 entangled: |00000⟩ and |01010⟩ each 0.5.
+	if got := s.Probabilities()[0]; !approx(got, 0.5) {
+		t.Errorf("P(00000) = %v", got)
+	}
+	if got := s.Probabilities()[0b01010]; !approx(got, 0.5) {
+		t.Errorf("P(01010) = %v", got)
+	}
+}
+
+func TestRemapRejectsBadLayouts(t *testing.T) {
+	c := New(2, "x").H(0)
+	for i, layout := range [][]int{{0, 0}, {0, 9}, {0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("layout case %d did not panic", i)
+				}
+			}()
+			c.Remap(layout, 5)
+		}()
+	}
+}
+
+func TestGateCounts(t *testing.T) {
+	c := New(3, "counts").H(0).H(1).CX(0, 1).Swap(1, 2).AddBarrier().X(2)
+	oneQ, twoQ, total := c.GateCounts()
+	if oneQ != 3 || twoQ != 2 || total != 5 {
+		t.Errorf("counts = %d,%d,%d", oneQ, twoQ, total)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	// H(0) and H(1) are parallel (depth 1); CX serializes (depth 2).
+	c := New(2, "d").H(0).H(1).CX(0, 1)
+	if d := c.Depth(); d != 2 {
+		t.Errorf("depth = %d, want 2", d)
+	}
+	// Barrier forces later ops to start after the deepest wire.
+	c2 := New(2, "d2").H(0).H(0).AddBarrier().X(1)
+	if d := c2.Depth(); d != 3 {
+		t.Errorf("barrier depth = %d, want 3", d)
+	}
+	if d := New(2, "empty").Depth(); d != 0 {
+		t.Errorf("empty depth = %d", d)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	c := New(2, "render").H(0).CX(0, 1).AddBarrier()
+	s := c.String()
+	for _, want := range []string{"h q[0];", "cx q[0], q[1];", "barrier;", "render"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := []func(){
+		func() { New(0, "bad") },
+		func() { New(2, "bad").H(2) },
+		func() { New(2, "bad").CX(1, 1) },
+		func() { New(2, "bad").PrepareBasis(bitstring.Zeros(3)) },
+		func() { New(2, "bad").ApplyInversionString(bitstring.Zeros(3)) },
+		func() { New(2, "a").Append(New(3, "b")) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: simulating PrepareBasis(b)+ApplyInversionString(s) then
+// XOR-correcting yields b for all b, s — the end-to-end correctness of
+// Invert-and-Measure on a noiseless machine.
+func TestQuickInvertAndMeasureIdentity(t *testing.T) {
+	f := func(braw, sraw uint8) bool {
+		const n = 6
+		b := bitstring.New(uint64(braw), n)
+		inv := bitstring.New(uint64(sraw), n)
+		c := New(n, "im").PrepareBasis(b).ApplyInversionString(inv)
+		st := c.Simulate()
+		rng := rand.New(rand.NewSource(int64(braw)*257 + int64(sraw)))
+		measured := st.Sample(rng)
+		return measured.Xor(inv) == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(43))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Remap with the identity layout is a no-op on measurement
+// statistics.
+func TestQuickIdentityRemap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 4
+		c := randomCircuit(n, 12, rng)
+		layout := []int{0, 1, 2, 3}
+		p1 := c.Simulate().Probabilities()
+		p2 := c.Remap(layout, n).Simulate().Probabilities()
+		for i := range p1 {
+			if math.Abs(p1[i]-p2[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(47))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: circuit simulation preserves the state norm.
+func TestQuickSimulatePreservesNorm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(5, 30, rng)
+		return math.Abs(c.Simulate().Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(53))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomCircuit(n, ops int, rng *rand.Rand) *Circuit {
+	c := New(n, "random")
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.X(rng.Intn(n))
+		case 2:
+			c.RZ(rng.Float64()*2*math.Pi, rng.Intn(n))
+		case 3:
+			c.RY(rng.Float64()*2*math.Pi, rng.Intn(n))
+		case 4:
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			c.CX(a, b)
+		case 5:
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			c.CZGate(a, b)
+		}
+	}
+	return c
+}
+
+func TestCCXTruthTable(t *testing.T) {
+	// Toffoli flips the target exactly when both controls are 1.
+	for v := 0; v < 8; v++ {
+		in := bitstring.New(uint64(v), 3)
+		c := New(3, "ccx").PrepareBasis(in).CCX(0, 1, 2)
+		want := in
+		if in.Bit(0) && in.Bit(1) {
+			want = in.SetBit(2, !in.Bit(2))
+		}
+		s := c.Simulate()
+		amp := s.Amplitude(want)
+		if p := real(amp)*real(amp) + imag(amp)*imag(amp); math.Abs(p-1) > 1e-9 {
+			t.Errorf("CCX on %v: P(%v) = %v", in, want, p)
+		}
+	}
+}
+
+func TestCCZPhase(t *testing.T) {
+	// CCZ flips the phase of |111⟩ only: verify via interference — apply
+	// to a uniform superposition and compare with a reference built from
+	// the exact diagonal.
+	c := New(3, "ccz")
+	for q := 0; q < 3; q++ {
+		c.H(q)
+	}
+	c.CCZ(0, 1, 2)
+	s := c.Simulate()
+	for v := 0; v < 8; v++ {
+		b := bitstring.New(uint64(v), 3)
+		amp := s.Amplitude(b)
+		want := 1.0 / math.Sqrt(8)
+		if v == 7 {
+			want = -want
+		}
+		if math.Abs(real(amp)-want) > 1e-9 || math.Abs(imag(amp)) > 1e-9 {
+			t.Errorf("CCZ amp(%v) = %v, want %v", b, amp, want)
+		}
+	}
+}
+
+func TestCCXPanicsOnRepeatedQubits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(3, "bad").CCX(0, 0, 1)
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"biasmit/internal/bitstring"
+	"biasmit/internal/kernels"
+)
+
+// Crosstalk is a measured readout-crosstalk matrix: Excess[target][trigger]
+// is the additional flip probability of the target qubit's readout when
+// the trigger qubit is excited, beyond its baseline flip rate with the
+// trigger in |0⟩. On a crosstalk-free machine every entry is statistical
+// noise around zero; on ibmqx4 the planted correlated-readout terms stand
+// out. This is the data-driven counterpart of the correlated-SPAM
+// characterization the paper cites ([25], Sun & Geller) and explains the
+// "arbitrary bias" AIM adapts to (§6.1).
+type Crosstalk struct {
+	Width  int
+	Excess [][]float64 // [target][trigger]; diagonal entries are zero
+}
+
+// CrosstalkPair is one detected interaction.
+type CrosstalkPair struct {
+	Trigger, Target int
+	Excess          float64
+}
+
+// SignificantPairs returns pairs whose |excess| exceeds the threshold,
+// ordered by descending magnitude (ties by trigger, then target).
+func (x *Crosstalk) SignificantPairs(threshold float64) []CrosstalkPair {
+	var out []CrosstalkPair
+	for target := 0; target < x.Width; target++ {
+		for trigger := 0; trigger < x.Width; trigger++ {
+			if target == trigger {
+				continue
+			}
+			if e := x.Excess[target][trigger]; e >= threshold || e <= -threshold {
+				out = append(out, CrosstalkPair{Trigger: trigger, Target: target, Excess: e})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := abs(out[i].Excess), abs(out[j].Excess)
+		if ai != aj {
+			return ai > aj
+		}
+		if out[i].Trigger != out[j].Trigger {
+			return out[i].Trigger < out[j].Trigger
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
+}
+
+// MaxExcess returns the largest |excess| in the matrix.
+func (x *Crosstalk) MaxExcess() float64 {
+	var m float64
+	for t := range x.Excess {
+		for _, e := range x.Excess[t] {
+			if a := abs(e); a > m {
+				m = a
+			}
+		}
+	}
+	return m
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Crosstalk measures the readout-crosstalk matrix of the profiler's
+// register: for every trigger qubit, it compares each other qubit's flip
+// rate with the trigger excited versus relaxed, using shotsPerState
+// trials for each of the n+1 calibration states (all-zeros plus one
+// single-excitation state per qubit).
+func (p *Profiler) Crosstalk(shotsPerState int, seed int64) (*Crosstalk, error) {
+	n := p.width()
+	if shotsPerState <= 0 {
+		return nil, fmt.Errorf("core: shotsPerState must be positive")
+	}
+
+	// flipRates measures, for a prepared state, each qubit's probability
+	// of reading back flipped.
+	flipRates := func(state bitstring.Bits, s int64) ([]float64, error) {
+		job, err := NewJobWithLayout(kernels.BasisPrep(state), p.Machine, p.Layout)
+		if err != nil {
+			return nil, err
+		}
+		counts, err := job.Baseline(shotsPerState, s)
+		if err != nil {
+			return nil, err
+		}
+		flips := make([]float64, n)
+		for _, out := range counts.Outcomes() {
+			c := float64(counts.Get(out))
+			for q := 0; q < n; q++ {
+				if out.Bit(q) != state.Bit(q) {
+					flips[q] += c
+				}
+			}
+		}
+		for q := range flips {
+			flips[q] /= float64(counts.Total())
+		}
+		return flips, nil
+	}
+
+	baseline, err := flipRates(bitstring.Zeros(n), deriveSeed(seed, 5000))
+	if err != nil {
+		return nil, err
+	}
+	x := &Crosstalk{Width: n, Excess: make([][]float64, n)}
+	for t := range x.Excess {
+		x.Excess[t] = make([]float64, n)
+	}
+	for trigger := 0; trigger < n; trigger++ {
+		excited, err := flipRates(bitstring.Zeros(n).SetBit(trigger, true), deriveSeed(seed, 5001+trigger))
+		if err != nil {
+			return nil, err
+		}
+		for target := 0; target < n; target++ {
+			if target == trigger {
+				continue // the trigger's own flip rate is its P10, not crosstalk
+			}
+			x.Excess[target][trigger] = excited[target] - baseline[target]
+		}
+	}
+	return x, nil
+}

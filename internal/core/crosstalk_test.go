@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"biasmit/internal/device"
+)
+
+func TestCrosstalkDetectsPlantedCorrelations(t *testing.T) {
+	// ibmqx4's model plants four correlated-readout terms, all triggering
+	// on the excited state; the detector must find each of them with
+	// roughly the planted magnitude.
+	dev := device.IBMQX4()
+	m := readoutOnlyMachine(dev)
+	prof := &Profiler{Machine: m, Layout: []int{0, 1, 2, 3, 4}}
+	x, err := prof.Crosstalk(60000, 701)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]int]float64{} // [trigger,target] -> planted excess
+	for _, c := range dev.Correlations {
+		want[[2]int{c.Trigger, c.Target}] = c.PExtra
+	}
+	pairs := x.SignificantPairs(0.015)
+	found := map[[2]int]float64{}
+	for _, p := range pairs {
+		found[[2]int{p.Trigger, p.Target}] = p.Excess
+	}
+	for key, planted := range want {
+		got, ok := found[key]
+		if !ok {
+			t.Errorf("planted crosstalk %v (%.3f) not detected; pairs: %v", key, planted, pairs)
+			continue
+		}
+		// The measured excess is planted·(1−p_base) plus noise.
+		if got < planted*0.6 || got > planted*1.3 {
+			t.Errorf("crosstalk %v: measured %.4f, planted %.4f", key, got, planted)
+		}
+	}
+	// No large spurious detections beyond the planted set.
+	for key := range found {
+		if _, ok := want[key]; !ok && abs(found[key]) > 0.03 {
+			t.Errorf("spurious crosstalk %v = %.4f", key, found[key])
+		}
+	}
+}
+
+func TestCrosstalkCleanMachineIsQuiet(t *testing.T) {
+	// ibmqx2 has no correlated readout: the whole matrix is noise.
+	dev := device.IBMQX2()
+	m := readoutOnlyMachine(dev)
+	prof := &Profiler{Machine: m, Layout: []int{0, 1, 2, 3, 4}}
+	x, err := prof.Crosstalk(60000, 702)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x.MaxExcess(); got > 0.01 {
+		t.Errorf("clean machine shows crosstalk %.4f", got)
+	}
+	if pairs := x.SignificantPairs(0.015); len(pairs) != 0 {
+		t.Errorf("spurious pairs on a clean machine: %v", pairs)
+	}
+}
+
+func TestCrosstalkValidation(t *testing.T) {
+	m := readoutOnlyMachine(device.IBMQX2())
+	prof := &Profiler{Machine: m, Layout: []int{0, 1, 2}}
+	if _, err := prof.Crosstalk(0, 1); err == nil {
+		t.Error("zero shots accepted")
+	}
+}
+
+func TestSignificantPairsOrdering(t *testing.T) {
+	x := &Crosstalk{Width: 3, Excess: [][]float64{
+		{0, 0.02, -0.05},
+		{0.01, 0, 0},
+		{0.04, 0, 0},
+	}}
+	pairs := x.SignificantPairs(0.02)
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0].Excess != -0.05 || pairs[1].Excess != 0.04 || pairs[2].Excess != 0.02 {
+		t.Errorf("ordering: %v", pairs)
+	}
+	if x.MaxExcess() != 0.05 {
+		t.Errorf("MaxExcess = %v", x.MaxExcess())
+	}
+}

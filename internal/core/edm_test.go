@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"biasmit/internal/device"
+	"biasmit/internal/kernels"
+	"biasmit/internal/metrics"
+)
+
+func TestDiverseLayoutsDistinctAndValid(t *testing.T) {
+	dev := device.IBMQMelbourne()
+	m := readoutOnlyMachine(dev)
+	c := kernels.GHZ(5)
+	layouts, err := DiverseLayouts(c, m, 6, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layouts) != 6 {
+		t.Fatalf("got %d layouts", len(layouts))
+	}
+	seen := map[string]bool{}
+	for _, layout := range layouts {
+		if len(layout) != 5 {
+			t.Fatalf("layout %v has wrong size", layout)
+		}
+		used := map[int]bool{}
+		for _, q := range layout {
+			if q < 0 || q >= dev.NumQubits || used[q] {
+				t.Fatalf("bad layout %v", layout)
+			}
+			used[q] = true
+		}
+		key := layoutKey(layout)
+		if seen[key] {
+			t.Fatalf("duplicate layout %v", layout)
+		}
+		seen[key] = true
+	}
+}
+
+func TestDiverseLayoutsValidation(t *testing.T) {
+	dev := device.IBMQX2()
+	m := readoutOnlyMachine(dev)
+	if _, err := DiverseLayouts(kernels.GHZ(3), m, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// A 5-qubit circuit on a 5-qubit device has 120 possible layouts, so
+	// many distinct mappings exist.
+	layouts, err := DiverseLayouts(kernels.GHZ(5), m, 8, 2)
+	if err != nil || len(layouts) != 8 {
+		t.Errorf("full-register diversity: %v, %v", layouts, err)
+	}
+}
+
+func TestEDMBudgetAndMerge(t *testing.T) {
+	dev := device.IBMQX4()
+	m := readoutOnlyMachine(dev)
+	bench := kernels.BV("bv", bs("1011").Slice(0, 4))
+	layouts, err := DiverseLayouts(bench.Circuit, m, 3, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EDM(bench.Circuit, m, layouts, 9001, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged.Total() != 9001 {
+		t.Errorf("merged total = %d", res.Merged.Total())
+	}
+	if len(res.PerMap) != 3 {
+		t.Errorf("per-map logs = %d", len(res.PerMap))
+	}
+}
+
+func TestEDMMergedBetweenExtremes(t *testing.T) {
+	// The ensemble PST must lie between the best and worst single
+	// mapping's PST (it is their trial-weighted average).
+	dev := device.IBMQMelbourne()
+	m := NewMachine(dev)
+	bench := kernels.BV("bv-4", bs("1111"))
+	layouts, err := DiverseLayouts(bench.Circuit, m, 4, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EDM(bench.Circuit, m, layouts, 16000, 46)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := bench.Correct[0]
+	min, max := 1.0, 0.0
+	for _, pm := range res.PerMap {
+		p := metrics.PST(pm.Dist(), target)
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	merged := metrics.PST(res.Merged.Dist(), target)
+	if merged < min-0.02 || merged > max+0.02 {
+		t.Errorf("merged PST %v outside per-mapping range [%v, %v]", merged, min, max)
+	}
+	if max == min {
+		t.Log("mappings performed identically; diversity had no spread on this seed")
+	}
+}
+
+func TestEDMWithSIMComposition(t *testing.T) {
+	dev := device.IBMQX4()
+	m := readoutOnlyMachine(dev)
+	bench := kernels.BV("bv-4B", bs("1111"))
+	layouts, err := DiverseLayouts(bench.Circuit, m, 2, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shots = 16000
+	plain, err := EDM(bench.Circuit, m, layouts, shots, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSIM, err := EDMWithSIM(bench.Circuit, m, layouts, shots, 49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withSIM.Merged.Total() != shots {
+		t.Errorf("composed total = %d", withSIM.Merged.Total())
+	}
+	target := bench.Correct[0]
+	plainPST := metrics.PST(plain.Merged.Dist(), target)
+	simPST := metrics.PST(withSIM.Merged.Dist(), target)
+	// The all-ones expected output is vulnerable: adding inversion modes
+	// on top of mapping diversity must help.
+	if simPST <= plainPST {
+		t.Errorf("EDM+SIM %.4f not above EDM %.4f on a vulnerable state", simPST, plainPST)
+	}
+}
+
+func TestEDMValidation(t *testing.T) {
+	dev := device.IBMQX2()
+	m := readoutOnlyMachine(dev)
+	c := kernels.GHZ(3)
+	if _, err := EDM(c, m, nil, 100, 1); err == nil {
+		t.Error("no mappings accepted")
+	}
+	layouts, err := DiverseLayouts(c, m, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EDM(c, m, layouts, 2, 1); err == nil {
+		t.Error("shots < mappings accepted")
+	}
+	if _, err := EDMWithSIM(c, m, layouts, 5, 1); err == nil {
+		t.Error("shots < mappings×modes accepted")
+	}
+}

@@ -1,0 +1,322 @@
+// Package correct implements confusion-matrix readout mitigation — the
+// post-processing technique that became standard practice after the
+// paper (Qiskit measurement mitigation, mthree): learn the readout
+// channel's transition matrix from calibration circuits, then apply its
+// inverse to measured distributions.
+//
+// It serves as a comparison point for Invert-and-Measure. The two
+// approaches are complementary: matrix inversion repairs the *estimated
+// distribution* after the fact (and can amplify sampling noise through
+// ill-conditioned inverses), while SIM/AIM change the *physical
+// measurement* so that fewer errors occur in the first place; matrix
+// methods also assume the channel is stationary between calibration and
+// use, exactly the assumption AIM's canary trials avoid.
+//
+// Two calibrations are provided, mirroring standard practice:
+//
+//   - Tensored: one 2×2 confusion matrix per qubit, learned from n+1
+//     calibration circuits; the inverse is the tensor product of the
+//     per-qubit inverses. Ignores readout crosstalk.
+//   - Full: the complete 2^n×2^n matrix, learned from 2^n preparations;
+//     exact but exponentially expensive, like the paper's brute-force
+//     RBMS.
+package correct
+
+import (
+	"fmt"
+
+	"biasmit/internal/bitstring"
+	"biasmit/internal/core"
+	"biasmit/internal/dist"
+	"biasmit/internal/kernels"
+	"biasmit/internal/linalg"
+)
+
+// maxTensoredWidth bounds the register size for the dense tensored Apply
+// (it walks all 2^n outcomes per observed state). Calibration itself is
+// linear in n, and ApplyReduced has no width limit.
+const maxTensoredWidth = 12
+
+// maxLearnWidth bounds calibration, which needs n+1 circuits.
+const maxLearnWidth = 24
+
+// Tensored is a per-qubit confusion-matrix calibration.
+// Qubit q's matrix C satisfies C[y][x] = P(read y | true x).
+type Tensored struct {
+	Width    int
+	Matrices [][2][2]float64
+	inverses [][2][2]float64
+}
+
+// NewTensored builds a calibration from explicit per-qubit confusion
+// matrices (e.g. loaded from disk), computing the inverses eagerly so a
+// singular matrix fails here rather than at apply time.
+func NewTensored(matrices [][2][2]float64) (*Tensored, error) {
+	if len(matrices) == 0 || len(matrices) > maxLearnWidth {
+		return nil, fmt.Errorf("correct: tensored calibration supports 1..%d qubits, got %d", maxLearnWidth, len(matrices))
+	}
+	t := &Tensored{Width: len(matrices)}
+	for q, c := range matrices {
+		for col := 0; col < 2; col++ {
+			if c[0][col] < 0 || c[1][col] < 0 {
+				return nil, fmt.Errorf("correct: qubit %d has negative confusion entries", q)
+			}
+		}
+		inv, err := linalg.Invert2(c)
+		if err != nil {
+			return nil, fmt.Errorf("correct: qubit %d confusion matrix is singular", q)
+		}
+		t.Matrices = append(t.Matrices, c)
+		t.inverses = append(t.inverses, inv)
+	}
+	return t, nil
+}
+
+// LearnTensored calibrates per-qubit confusion matrices on the given
+// machine and physical layout using n+1 circuits: one all-zeros
+// preparation for the P(1|0) column and one single-excitation
+// preparation per qubit for the P(0|1) column.
+func LearnTensored(m *core.Machine, layout []int, shots int, seed int64) (*Tensored, error) {
+	n := len(layout)
+	if n < 1 || n > maxLearnWidth {
+		return nil, fmt.Errorf("correct: tensored calibration supports 1..%d qubits, got %d", maxLearnWidth, n)
+	}
+	if shots < 1 {
+		return nil, fmt.Errorf("correct: shots must be positive")
+	}
+
+	flipRate := func(state bitstring.Bits, q int, s int64) (float64, error) {
+		job, err := core.NewJobWithLayout(kernels.BasisPrep(state), m, layout)
+		if err != nil {
+			return 0, err
+		}
+		counts, err := job.Baseline(shots, s)
+		if err != nil {
+			return 0, err
+		}
+		flips := 0
+		for _, out := range counts.Outcomes() {
+			if out.Bit(q) != state.Bit(q) {
+				flips += counts.Get(out)
+			}
+		}
+		return float64(flips) / float64(counts.Total()), nil
+	}
+
+	t := &Tensored{Width: n}
+	zeros := bitstring.Zeros(n)
+	for q := 0; q < n; q++ {
+		p01, err := flipRate(zeros, q, seed+int64(2*q))
+		if err != nil {
+			return nil, err
+		}
+		p10, err := flipRate(zeros.SetBit(q, true), q, seed+int64(2*q+1))
+		if err != nil {
+			return nil, err
+		}
+		c := [2][2]float64{
+			{1 - p01, p10},
+			{p01, 1 - p10},
+		}
+		inv, err := linalg.Invert2(c)
+		if err != nil {
+			return nil, fmt.Errorf("correct: qubit %d confusion matrix is singular (p01=%v p10=%v)", q, p01, p10)
+		}
+		t.Matrices = append(t.Matrices, c)
+		t.inverses = append(t.inverses, inv)
+	}
+	return t, nil
+}
+
+// Apply returns the mitigated distribution: the tensor-product inverse
+// applied to the measured histogram, projected back onto the probability
+// simplex.
+func (t *Tensored) Apply(counts *dist.Counts) (dist.Dist, error) {
+	if counts.Width() != t.Width {
+		return dist.Dist{}, fmt.Errorf("correct: histogram width %d for %d-qubit calibration", counts.Width(), t.Width)
+	}
+	if t.Width > maxTensoredWidth {
+		return dist.Dist{}, fmt.Errorf("correct: dense Apply supports up to %d qubits (have %d); use ApplyReduced", maxTensoredWidth, t.Width)
+	}
+	if counts.Total() == 0 {
+		return dist.Dist{}, fmt.Errorf("correct: empty histogram")
+	}
+	measured := counts.Dist()
+	size := 1 << uint(t.Width)
+	raw := make([]float64, size)
+	for y, py := range measured.P {
+		// Distribute p(y) across all x with weight Π_q inv[x_q][y_q].
+		for x := 0; x < size; x++ {
+			w := py
+			for q := 0; q < t.Width; q++ {
+				xq := x >> uint(q) & 1
+				yq := 0
+				if y.Bit(q) {
+					yq = 1
+				}
+				w *= t.inverses[q][xq][yq]
+				if w == 0 {
+					break
+				}
+			}
+			raw[x] += w
+		}
+	}
+	fixed := linalg.ProjectToSimplex(raw)
+	out := dist.NewDist(t.Width)
+	for x, p := range fixed {
+		if p > 0 {
+			out.P[bitstring.New(uint64(x), t.Width)] = p
+		}
+	}
+	return out, nil
+}
+
+// ApplyReduced mitigates using only the observed-outcome subspace, the
+// approach of scalable correctors like mthree: the tensored confusion
+// matrix is restricted to the measured strings, each column renormalized
+// over the subspace, and the reduced linear system solved. Cost is
+// O(k²·n + k³) for k distinct outcomes — independent of 2^n — at the
+// price of ignoring true states that were never read out.
+func (t *Tensored) ApplyReduced(counts *dist.Counts) (dist.Dist, error) {
+	if counts.Width() != t.Width {
+		return dist.Dist{}, fmt.Errorf("correct: histogram width %d for %d-qubit calibration", counts.Width(), t.Width)
+	}
+	if counts.Total() == 0 {
+		return dist.Dist{}, fmt.Errorf("correct: empty histogram")
+	}
+	observed := counts.Outcomes()
+	k := len(observed)
+	measured := counts.Dist()
+
+	// Reduced confusion matrix A[i][j] = P(read observed[i] | true observed[j]).
+	a := make([][]float64, k)
+	for i := range a {
+		a[i] = make([]float64, k)
+		for j := range a[i] {
+			a[i][j] = t.transition(observed[j], observed[i])
+		}
+	}
+	// Column-normalize over the subspace so the reduced system remains
+	// stochastic (probability that escaped the subspace is reassigned
+	// proportionally, mthree's convention).
+	for j := 0; j < k; j++ {
+		var col float64
+		for i := 0; i < k; i++ {
+			col += a[i][j]
+		}
+		if col <= 0 {
+			return dist.Dist{}, fmt.Errorf("correct: reduced column %d has no mass", j)
+		}
+		for i := 0; i < k; i++ {
+			a[i][j] /= col
+		}
+	}
+	b := make([]float64, k)
+	for i, y := range observed {
+		b[i] = measured.Prob(y)
+	}
+	raw, err := linalg.Solve(a, b)
+	if err != nil {
+		return dist.Dist{}, fmt.Errorf("correct: reduced solve: %w", err)
+	}
+	fixed := linalg.ProjectToSimplex(raw)
+	out := dist.NewDist(t.Width)
+	for i, p := range fixed {
+		if p > 0 {
+			out.P[observed[i]] = p
+		}
+	}
+	return out, nil
+}
+
+// transition returns the tensored P(read y | true x).
+func (t *Tensored) transition(x, y bitstring.Bits) float64 {
+	p := 1.0
+	for q := 0; q < t.Width; q++ {
+		xq, yq := 0, 0
+		if x.Bit(q) {
+			xq = 1
+		}
+		if y.Bit(q) {
+			yq = 1
+		}
+		p *= t.Matrices[q][yq][xq]
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// maxFullWidth bounds the register size for the full calibration
+// (2^n preparations and a dense 2^n×2^n solve).
+const maxFullWidth = 8
+
+// Full is a complete confusion-matrix calibration:
+// M[y][x] = P(read y | true x) over all basis states.
+type Full struct {
+	Width  int
+	Matrix [][]float64
+}
+
+// LearnFull calibrates the complete confusion matrix by preparing every
+// basis state, like the paper's brute-force RBMS but retaining the whole
+// transition row rather than only the diagonal.
+func LearnFull(m *core.Machine, layout []int, shotsPerState int, seed int64) (*Full, error) {
+	n := len(layout)
+	if n < 1 || n > maxFullWidth {
+		return nil, fmt.Errorf("correct: full calibration supports 1..%d qubits, got %d", maxFullWidth, n)
+	}
+	if shotsPerState < 1 {
+		return nil, fmt.Errorf("correct: shotsPerState must be positive")
+	}
+	size := 1 << uint(n)
+	matrix := make([][]float64, size)
+	for i := range matrix {
+		matrix[i] = make([]float64, size)
+	}
+	for _, x := range bitstring.All(n) {
+		job, err := core.NewJobWithLayout(kernels.BasisPrep(x), m, layout)
+		if err != nil {
+			return nil, err
+		}
+		counts, err := job.Baseline(shotsPerState, seed+int64(x.Uint64()))
+		if err != nil {
+			return nil, err
+		}
+		for _, y := range counts.Outcomes() {
+			matrix[y.Uint64()][x.Uint64()] = float64(counts.Get(y)) / float64(counts.Total())
+		}
+	}
+	return &Full{Width: n, Matrix: matrix}, nil
+}
+
+// Apply solves M·c = measured for the true distribution c and projects
+// it onto the probability simplex.
+func (f *Full) Apply(counts *dist.Counts) (dist.Dist, error) {
+	if counts.Width() != f.Width {
+		return dist.Dist{}, fmt.Errorf("correct: histogram width %d for %d-qubit calibration", counts.Width(), f.Width)
+	}
+	if counts.Total() == 0 {
+		return dist.Dist{}, fmt.Errorf("correct: empty histogram")
+	}
+	measured := counts.Dist()
+	size := 1 << uint(f.Width)
+	b := make([]float64, size)
+	for y, p := range measured.P {
+		b[y.Uint64()] = p
+	}
+	raw, err := linalg.Solve(f.Matrix, b)
+	if err != nil {
+		return dist.Dist{}, fmt.Errorf("correct: %w", err)
+	}
+	fixed := linalg.ProjectToSimplex(raw)
+	out := dist.NewDist(f.Width)
+	for x, p := range fixed {
+		if p > 0 {
+			out.P[bitstring.New(uint64(x), f.Width)] = p
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,273 @@
+package correct
+
+import (
+	"math"
+	"testing"
+
+	"biasmit/internal/backend"
+	"biasmit/internal/bitstring"
+	"biasmit/internal/core"
+	"biasmit/internal/device"
+	"biasmit/internal/dist"
+	"biasmit/internal/kernels"
+	"biasmit/internal/metrics"
+)
+
+func bs(s string) bitstring.Bits { return bitstring.MustParse(s) }
+
+func readoutOnlyMachine(dev *device.Device) *core.Machine {
+	m := core.NewMachine(dev)
+	m.Opt = backend.Options{NoGateNoise: true, NoDecay: true}
+	return m
+}
+
+func TestLearnTensoredMatchesModel(t *testing.T) {
+	dev := device.IBMQX2() // no crosstalk: tensored assumption holds exactly
+	m := readoutOnlyMachine(dev)
+	layout := []int{0, 1, 2, 3, 4}
+	cal, err := LearnTensored(m, layout, 40000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := dev.ReadoutModel()
+	for q := 0; q < 5; q++ {
+		wantP01 := model.PerQubit[q].P01
+		wantP10 := model.PerQubit[q].P10
+		if got := cal.Matrices[q][1][0]; math.Abs(got-wantP01) > 0.01 {
+			t.Errorf("qubit %d P(1|0) = %v, model %v", q, got, wantP01)
+		}
+		if got := cal.Matrices[q][0][1]; math.Abs(got-wantP10) > 0.01 {
+			t.Errorf("qubit %d P(0|1) = %v, model %v", q, got, wantP10)
+		}
+		// Columns are stochastic.
+		for col := 0; col < 2; col++ {
+			sum := cal.Matrices[q][0][col] + cal.Matrices[q][1][col]
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("qubit %d column %d sums to %v", q, col, sum)
+			}
+		}
+	}
+}
+
+func TestTensoredApplyRecoversBasisState(t *testing.T) {
+	// Measuring the vulnerable all-ones state: mitigation should push its
+	// probability back toward 1.
+	dev := device.IBMQX2()
+	m := readoutOnlyMachine(dev)
+	layout := []int{0, 1, 2, 3, 4}
+	cal, err := LearnTensored(m, layout, 40000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := bs("11111")
+	job, err := core.NewJobWithLayout(kernels.BasisPrep(target), m, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := job.Baseline(40000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawPST := metrics.PST(counts.Dist(), target)
+	fixed, err := cal.Apply(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedPST := metrics.PST(fixed, target)
+	if fixedPST <= rawPST {
+		t.Errorf("mitigation did not help: raw %v, mitigated %v", rawPST, fixedPST)
+	}
+	if fixedPST < 0.97 {
+		t.Errorf("mitigated PST = %v, want ≈ 1 on a crosstalk-free machine", fixedPST)
+	}
+	if mass := fixed.Mass(); math.Abs(mass-1) > 1e-9 {
+		t.Errorf("mitigated mass = %v", mass)
+	}
+}
+
+func TestTensoredMissesCrosstalk(t *testing.T) {
+	// On ibmqx4 the correlated readout violates the tensored assumption:
+	// the full calibration must recover the state strictly better.
+	dev := device.IBMQX4()
+	m := readoutOnlyMachine(dev)
+	layout := []int{0, 1, 2, 3, 4}
+	tens, err := LearnTensored(m, layout, 40000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := LearnFull(m, layout, 8000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := bs("11011") // excites several crosstalk triggers
+	job, err := core.NewJobWithLayout(kernels.BasisPrep(target), m, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := job.Baseline(60000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dT, err := tens.Apply(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dF, err := full.Apply(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pstT := metrics.PST(dT, target)
+	pstF := metrics.PST(dF, target)
+	if pstF <= pstT {
+		t.Errorf("full calibration (%v) not better than tensored (%v) under crosstalk", pstF, pstT)
+	}
+	if pstF < 0.9 {
+		t.Errorf("full mitigation PST = %v, want near 1", pstF)
+	}
+}
+
+func TestFullApplyOnSuperposition(t *testing.T) {
+	// Mitigating a GHZ measurement should restore the 0.5/0.5 split.
+	dev := device.IBMQX2()
+	m := readoutOnlyMachine(dev)
+	layout := []int{0, 1, 2, 3, 4}
+	full, err := LearnFull(m, layout, 8000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := core.NewJobWithLayout(kernels.GHZ(5), m, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := job.Baseline(60000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := counts.Dist()
+	fixed, err := full.Apply(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawSkew := raw.Prob(bs("00000")) / raw.Prob(bs("11111"))
+	fixedSkew := fixed.Prob(bs("00000")) / fixed.Prob(bs("11111"))
+	if math.Abs(fixedSkew-1) > math.Abs(rawSkew-1) {
+		t.Errorf("mitigation worsened GHZ skew: raw %v, mitigated %v", rawSkew, fixedSkew)
+	}
+	if math.Abs(fixed.Prob(bs("00000"))-0.5) > 0.05 {
+		t.Errorf("mitigated P(00000) = %v, want ≈ 0.5", fixed.Prob(bs("00000")))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	dev := device.IBMQX2()
+	m := readoutOnlyMachine(dev)
+	if _, err := LearnTensored(m, nil, 100, 1); err == nil {
+		t.Error("empty layout accepted")
+	}
+	if _, err := LearnTensored(m, []int{0}, 0, 1); err == nil {
+		t.Error("zero shots accepted")
+	}
+	if _, err := LearnFull(m, make([]int, maxFullWidth+1), 100, 1); err == nil {
+		t.Error("oversized full calibration accepted")
+	}
+	cal, err := LearnTensored(m, []int{0, 1}, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cal.Apply(dist.NewCounts(3)); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if _, err := cal.Apply(dist.NewCounts(2)); err == nil {
+		t.Error("empty histogram accepted")
+	}
+}
+
+func TestTensoredApplyPreservesCleanDistributions(t *testing.T) {
+	// With a perfect readout model (identity confusion matrices), Apply
+	// must return the input distribution.
+	cal := &Tensored{Width: 2}
+	for q := 0; q < 2; q++ {
+		cal.Matrices = append(cal.Matrices, [2][2]float64{{1, 0}, {0, 1}})
+		cal.inverses = append(cal.inverses, [2][2]float64{{1, 0}, {0, 1}})
+	}
+	counts := dist.NewCounts(2)
+	counts.Add(bs("01"), 3)
+	counts.Add(bs("10"), 1)
+	fixed, err := cal.Apply(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fixed.Prob(bs("01"))-0.75) > 1e-9 || math.Abs(fixed.Prob(bs("10"))-0.25) > 1e-9 {
+		t.Errorf("identity mitigation changed the distribution: %v", fixed.P)
+	}
+}
+
+func TestApplyReducedMatchesDenseOnConcentratedDist(t *testing.T) {
+	// For a basis-state measurement nearly all mass sits in the observed
+	// subspace, so the reduced and dense corrections must agree.
+	dev := device.IBMQX2()
+	m := readoutOnlyMachine(dev)
+	layout := []int{0, 1, 2, 3, 4}
+	cal, err := LearnTensored(m, layout, 40000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := bs("11110")
+	job, err := core.NewJobWithLayout(kernels.BasisPrep(target), m, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := job.Baseline(60000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := cal.Apply(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := cal.ApplyReduced(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tvd := dense.TVD(reduced); tvd > 0.02 {
+		t.Errorf("reduced vs dense TVD = %v", tvd)
+	}
+	if pst := metrics.PST(reduced, target); pst < 0.95 {
+		t.Errorf("reduced mitigation PST = %v", pst)
+	}
+}
+
+func TestApplyReducedScalesToMelbourne(t *testing.T) {
+	// 14 qubits: the dense Apply is refused, the reduced solve works.
+	dev := device.IBMQMelbourne()
+	m := readoutOnlyMachine(dev)
+	layout := make([]int, 14)
+	for i := range layout {
+		layout[i] = i
+	}
+	cal, err := LearnTensored(m, layout, 8000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := bitstring.MustParse("00000011111111")
+	job, err := core.NewJobWithLayout(kernels.BasisPrep(target), m, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := job.Baseline(30000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cal.Apply(counts); err == nil {
+		t.Error("dense Apply accepted 14 qubits")
+	}
+	fixed, err := cal.ApplyReduced(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawPST := metrics.PST(counts.Dist(), target)
+	fixedPST := metrics.PST(fixed, target)
+	if fixedPST <= rawPST {
+		t.Errorf("reduced mitigation did not help at 14 qubits: %v vs %v", fixedPST, rawPST)
+	}
+}

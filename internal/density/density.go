@@ -1,0 +1,336 @@
+// Package density implements an exact density-matrix simulator for small
+// registers. Where the backend samples stochastic trajectories, this
+// package applies the noise channels (depolarizing gate error, amplitude
+// damping, classical readout corruption) exactly, producing the true
+// output distribution with no sampling error.
+//
+// Its role in the reproduction is validation: the trajectory sampler and
+// the exact channel evolution must agree in distribution, which pins down
+// the correctness of the entire noise pipeline (see the cross-validation
+// tests). Cost scales as O(4^n), so it is practical up to ~8 qubits —
+// enough to cover both 5-qubit machines end to end.
+package density
+
+import (
+	"fmt"
+	"math"
+
+	"biasmit/internal/bitstring"
+	"biasmit/internal/circuit"
+	"biasmit/internal/dist"
+	"biasmit/internal/noise"
+	"biasmit/internal/quantum"
+)
+
+// MaxQubits bounds register size; a density matrix holds 4^n complex
+// entries (64 MiB at n=11; we stop well before).
+const MaxQubits = 10
+
+// Matrix is an n-qubit density matrix ρ, stored row-major with dimension
+// d = 2^n. Construct with New; the zero value is unusable.
+type Matrix struct {
+	n   int
+	d   int
+	rho []complex128
+}
+
+// New returns the pure ground-state density matrix |0…0⟩⟨0…0|.
+func New(n int) *Matrix {
+	if n < 1 || n > MaxQubits {
+		panic(fmt.Sprintf("density: qubit count %d out of range [1,%d]", n, MaxQubits))
+	}
+	d := 1 << uint(n)
+	m := &Matrix{n: n, d: d, rho: make([]complex128, d*d)}
+	m.rho[0] = 1
+	return m
+}
+
+// NumQubits returns the register size.
+func (m *Matrix) NumQubits() int { return m.n }
+
+// At returns ρ[r][c].
+func (m *Matrix) At(r, c int) complex128 { return m.rho[r*m.d+c] }
+
+// Trace returns tr(ρ), which stays 1 under every channel.
+func (m *Matrix) Trace() float64 {
+	var t complex128
+	for i := 0; i < m.d; i++ {
+		t += m.rho[i*m.d+i]
+	}
+	return real(t)
+}
+
+// Purity returns tr(ρ²): 1 for pure states, 1/2^n for the maximally
+// mixed state. Noise strictly decreases it.
+func (m *Matrix) Purity() float64 {
+	var t complex128
+	for r := 0; r < m.d; r++ {
+		for c := 0; c < m.d; c++ {
+			t += m.rho[r*m.d+c] * m.rho[c*m.d+r]
+		}
+	}
+	return real(t)
+}
+
+// Probabilities returns the measurement distribution diag(ρ).
+func (m *Matrix) Probabilities() []float64 {
+	out := make([]float64, m.d)
+	for i := 0; i < m.d; i++ {
+		out[i] = real(m.rho[i*m.d+i])
+	}
+	return out
+}
+
+func (m *Matrix) checkQubit(q int) {
+	if q < 0 || q >= m.n {
+		panic(fmt.Sprintf("density: qubit %d out of range [0,%d)", q, m.n))
+	}
+}
+
+// applyLeft multiplies every column by the single-qubit matrix u acting
+// on qubit q: ρ → (u⊗I)·ρ.
+func (m *Matrix) applyLeft(u quantum.Matrix2, q int) {
+	stride := 1 << uint(q)
+	for c := 0; c < m.d; c++ {
+		for base := 0; base < m.d; base += stride * 2 {
+			for off := 0; off < stride; off++ {
+				r0 := base + off
+				r1 := r0 + stride
+				a0, a1 := m.rho[r0*m.d+c], m.rho[r1*m.d+c]
+				m.rho[r0*m.d+c] = u[0][0]*a0 + u[0][1]*a1
+				m.rho[r1*m.d+c] = u[1][0]*a0 + u[1][1]*a1
+			}
+		}
+	}
+}
+
+// applyRight multiplies every row by u† on qubit q: ρ → ρ·(u†⊗I).
+func (m *Matrix) applyRight(u quantum.Matrix2, q int) {
+	ud := u.Dagger()
+	stride := 1 << uint(q)
+	for r := 0; r < m.d; r++ {
+		row := m.rho[r*m.d : (r+1)*m.d]
+		for base := 0; base < m.d; base += stride * 2 {
+			for off := 0; off < stride; off++ {
+				c0 := base + off
+				c1 := c0 + stride
+				a0, a1 := row[c0], row[c1]
+				row[c0] = a0*ud[0][0] + a1*ud[1][0]
+				row[c1] = a0*ud[0][1] + a1*ud[1][1]
+			}
+		}
+	}
+}
+
+// Apply1 conjugates ρ by the single-qubit unitary u on qubit q.
+func (m *Matrix) Apply1(u quantum.Matrix2, q int) {
+	m.checkQubit(q)
+	m.applyLeft(u, q)
+	m.applyRight(u, q)
+}
+
+// permute conjugates ρ by a basis permutation: ρ'[p(r)][p(c)] = ρ[r][c].
+func (m *Matrix) permute(p func(int) int) {
+	next := make([]complex128, len(m.rho))
+	for r := 0; r < m.d; r++ {
+		pr := p(r)
+		for c := 0; c < m.d; c++ {
+			next[pr*m.d+p(c)] = m.rho[r*m.d+c]
+		}
+	}
+	m.rho = next
+}
+
+// ApplyCNOT conjugates ρ by a CNOT.
+func (m *Matrix) ApplyCNOT(control, target int) {
+	m.checkQubit(control)
+	m.checkQubit(target)
+	if control == target {
+		panic("density: CNOT with identical qubits")
+	}
+	cb, tb := 1<<uint(control), 1<<uint(target)
+	m.permute(func(i int) int {
+		if i&cb != 0 {
+			return i ^ tb
+		}
+		return i
+	})
+}
+
+// ApplySWAP conjugates ρ by a SWAP.
+func (m *Matrix) ApplySWAP(a, b int) {
+	m.checkQubit(a)
+	m.checkQubit(b)
+	if a == b {
+		panic("density: SWAP with identical qubits")
+	}
+	ba, bb := 1<<uint(a), 1<<uint(b)
+	m.permute(func(i int) int {
+		bitA := i & ba >> uint(a)
+		bitB := i & bb >> uint(b)
+		if bitA == bitB {
+			return i
+		}
+		return i ^ ba ^ bb
+	})
+}
+
+// ApplyCZ conjugates ρ by a controlled-Z.
+func (m *Matrix) ApplyCZ(a, b int) {
+	m.checkQubit(a)
+	m.checkQubit(b)
+	if a == b {
+		panic("density: CZ with identical qubits")
+	}
+	mask := 1<<uint(a) | 1<<uint(b)
+	sign := func(i int) complex128 {
+		if i&mask == mask {
+			return -1
+		}
+		return 1
+	}
+	// U = diag(±1) is real: ρ'[r][c] = sign(r)·ρ[r][c]·sign(c).
+	for r := 0; r < m.d; r++ {
+		sr := sign(r)
+		for c := 0; c < m.d; c++ {
+			m.rho[r*m.d+c] *= sr * sign(c)
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{n: m.n, d: m.d, rho: append([]complex128(nil), m.rho...)}
+	return out
+}
+
+// Depolarize1 applies the single-qubit depolarizing channel with error
+// probability p on qubit q: ρ → (1−p)ρ + p/3·Σ_{P∈{X,Y,Z}} PρP.
+func (m *Matrix) Depolarize1(q int, p float64) {
+	m.checkQubit(q)
+	if p <= 0 {
+		return
+	}
+	orig := m.Clone()
+	scale(m.rho, complex(1-p, 0))
+	for _, pl := range []quantum.Matrix2{quantum.X, quantum.Y, quantum.Z} {
+		kick := orig.Clone()
+		kick.Apply1(pl, q)
+		accumulate(m.rho, kick.rho, complex(p/3, 0))
+	}
+}
+
+// Depolarize2 applies the two-qubit depolarizing channel with error
+// probability p on qubits (a,b): a uniform mixture over the 15
+// non-identity Pauli pairs.
+func (m *Matrix) Depolarize2(a, b int, p float64) {
+	m.checkQubit(a)
+	m.checkQubit(b)
+	if a == b {
+		panic("density: Depolarize2 with identical qubits")
+	}
+	if p <= 0 {
+		return
+	}
+	orig := m.Clone()
+	scale(m.rho, complex(1-p, 0))
+	paulis := []quantum.Matrix2{quantum.I, quantum.X, quantum.Y, quantum.Z}
+	for i := 1; i < 16; i++ {
+		kick := orig.Clone()
+		if pa := paulis[i/4]; i/4 != 0 {
+			kick.Apply1(pa, a)
+		}
+		if pb := paulis[i%4]; i%4 != 0 {
+			kick.Apply1(pb, b)
+		}
+		accumulate(m.rho, kick.rho, complex(p/15, 0))
+	}
+}
+
+// AmplitudeDamp applies the T1 relaxation channel with decay probability
+// gamma on qubit q: ρ → K0ρK0† + K1ρK1†.
+func (m *Matrix) AmplitudeDamp(q int, gamma float64) {
+	m.checkQubit(q)
+	if gamma <= 0 {
+		return
+	}
+	if gamma > 1 {
+		panic(fmt.Sprintf("density: gamma %v out of [0,1]", gamma))
+	}
+	s := math.Sqrt(1 - gamma)
+	bit := 1 << uint(q)
+	next := make([]complex128, len(m.rho))
+	for r := 0; r < m.d; r++ {
+		for c := 0; c < m.d; c++ {
+			v := m.rho[r*m.d+c]
+			if v == 0 {
+				continue
+			}
+			// K0 = diag(1, s): factor s per side with the bit set.
+			f := 1.0
+			if r&bit != 0 {
+				f *= s
+			}
+			if c&bit != 0 {
+				f *= s
+			}
+			next[r*m.d+c] += v * complex(f, 0)
+			// K1 = sqrt(gamma)|0><1|: contributes only from (1,1) blocks.
+			if r&bit != 0 && c&bit != 0 {
+				next[(r^bit)*m.d+(c^bit)] += v * complex(gamma, 0)
+			}
+		}
+	}
+	m.rho = next
+}
+
+func scale(v []complex128, f complex128) {
+	for i := range v {
+		v[i] *= f
+	}
+}
+
+func accumulate(dst, src []complex128, f complex128) {
+	for i := range dst {
+		dst[i] += f * src[i]
+	}
+}
+
+// ApplyOp applies one circuit operation.
+func (m *Matrix) ApplyOp(op circuit.Op) {
+	switch op.Kind {
+	case circuit.Gate1:
+		m.Apply1(op.Matrix, op.Qubits[0])
+	case circuit.CNOT:
+		m.ApplyCNOT(op.Qubits[0], op.Qubits[1])
+	case circuit.CZ:
+		m.ApplyCZ(op.Qubits[0], op.Qubits[1])
+	case circuit.SwapOp:
+		m.ApplySWAP(op.Qubits[0], op.Qubits[1])
+	case circuit.Barrier:
+	default:
+		panic(fmt.Sprintf("density: unknown op kind %d", op.Kind))
+	}
+}
+
+// OutputDist applies the exact classical readout channel to diag(ρ) and
+// returns the distribution of recorded strings.
+func (m *Matrix) OutputDist(readout *noise.ReadoutModel) dist.Dist {
+	if readout.NumQubits() != m.n {
+		panic(fmt.Sprintf("density: readout model has %d qubits for %d-qubit state", readout.NumQubits(), m.n))
+	}
+	probs := m.Probabilities()
+	out := dist.NewDist(m.n)
+	for _, x := range bitstring.All(m.n) {
+		px := probs[x.Uint64()]
+		if px < 1e-15 {
+			continue
+		}
+		for _, y := range bitstring.All(m.n) {
+			if t := readout.TransitionProb(x, y); t > 0 {
+				out.P[y] += px * t
+			}
+		}
+	}
+	return out
+}

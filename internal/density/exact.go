@@ -1,0 +1,56 @@
+package density
+
+import (
+	"fmt"
+
+	"biasmit/internal/circuit"
+	"biasmit/internal/device"
+	"biasmit/internal/dist"
+	"biasmit/internal/noise"
+)
+
+// RunExact evolves the circuit on the device model with every noise
+// channel applied exactly — the closed-form counterpart of
+// backend.Run. Channel placement matches the trajectory sampler: after
+// each gate, a depolarizing kick with the calibrated error probability
+// followed by amplitude damping on the operand qubits for the gate
+// duration; at the end, the classical readout channel.
+//
+// The returned distribution is what backend.Run converges to as the shot
+// count grows; the cross-validation tests assert exactly that.
+func RunExact(c *circuit.Circuit, dev *device.Device) (dist.Dist, error) {
+	if c.NumQubits != dev.NumQubits {
+		return dist.Dist{}, fmt.Errorf("density: circuit register %d does not match device %s with %d qubits",
+			c.NumQubits, dev.Name, dev.NumQubits)
+	}
+	if dev.NumQubits > MaxQubits {
+		return dist.Dist{}, fmt.Errorf("density: %s has %d qubits; exact simulation supports up to %d",
+			dev.Name, dev.NumQubits, MaxQubits)
+	}
+	m := New(dev.NumQubits)
+	for i, op := range c.Ops {
+		if op.Kind == circuit.Barrier {
+			continue
+		}
+		m.ApplyOp(op)
+		duration := dev.Gate1Duration
+		if op.IsTwoQubit() {
+			duration = dev.Gate2Duration
+			p2, err := dev.Gate2Error(op.Qubits[0], op.Qubits[1])
+			if err != nil {
+				return dist.Dist{}, fmt.Errorf("density: op %d (%s): %w", i, op.Label, err)
+			}
+			if op.Kind == circuit.SwapOp {
+				p2 = 1 - (1-p2)*(1-p2)*(1-p2)
+				duration = 3 * dev.Gate2Duration
+			}
+			m.Depolarize2(op.Qubits[0], op.Qubits[1], p2)
+		} else {
+			m.Depolarize1(op.Qubits[0], dev.Qubits[op.Qubits[0]].Gate1Error)
+		}
+		for _, q := range op.Qubits {
+			m.AmplitudeDamp(q, noise.DecayProb(duration, dev.Qubits[q].T1))
+		}
+	}
+	return m.OutputDist(dev.ReadoutModel()), nil
+}

@@ -1,0 +1,354 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"biasmit/internal/bitstring"
+	"biasmit/internal/metrics"
+	"biasmit/internal/noise"
+)
+
+func TestFactoryModelsValidate(t *testing.T) {
+	for _, d := range AllMachines() {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestTable1MeasurementErrorStats(t *testing.T) {
+	// Paper Table 1: readout error min/avg/max per machine.
+	cases := []struct {
+		dev           *Device
+		min, avg, max float64
+	}{
+		{IBMQX2(), 0.012, 0.038, 0.128},
+		{IBMQX4(), 0.034, 0.082, 0.207},
+		{IBMQMelbourne(), 0.022, 0.0812, 0.310},
+	}
+	for _, c := range cases {
+		min, avg, max := c.dev.MeasurementErrorStats()
+		if math.Abs(min-c.min) > 0.004 {
+			t.Errorf("%s min = %v, want ≈ %v", c.dev.Name, min, c.min)
+		}
+		if math.Abs(avg-c.avg) > 0.006 {
+			t.Errorf("%s avg = %v, want ≈ %v", c.dev.Name, avg, c.avg)
+		}
+		if math.Abs(max-c.max) > 0.012 {
+			t.Errorf("%s max = %v, want ≈ %v", c.dev.Name, max, c.max)
+		}
+	}
+}
+
+func TestIBMQX2BiasStronglyHammingCorrelated(t *testing.T) {
+	// Paper Fig 4: BMS vs Hamming weight correlation ≈ −0.93 on ibmqx2.
+	d := IBMQX2()
+	bms := d.ReadoutModel().ExactBMS()
+	r, err := metrics.Pearson(metrics.HammingWeightSeries(5), bms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > -0.85 {
+		t.Errorf("ibmqx2 correlation = %v, want < -0.85", r)
+	}
+	// All-zeros must be the strongest state, all-ones the weakest among
+	// the extremes, with a substantial relative gap (paper: 0.38 relative).
+	if bms[0] <= bms[31] {
+		t.Errorf("BMS(00000)=%v <= BMS(11111)=%v", bms[0], bms[31])
+	}
+	// Readout-only gap; the end-to-end Fig 4 experiment (with state
+	// preparation and gate decay) widens it further.
+	if ratio := bms[31] / bms[0]; ratio > 0.92 {
+		t.Errorf("relative BMS of 11111 = %v, want a visible gap", ratio)
+	}
+}
+
+func TestIBMQX4BiasIsArbitrary(t *testing.T) {
+	// Paper §6.1: on ibmqx4 measurement strength is NOT strongly
+	// correlated with Hamming weight (non-monotone).
+	d := IBMQX4()
+	bms := d.ReadoutModel().ExactBMS()
+	r, err := metrics.Pearson(metrics.HammingWeightSeries(5), bms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2bms := IBMQX2().ReadoutModel().ExactBMS()
+	rX2, err := metrics.Pearson(metrics.HammingWeightSeries(5), x2bms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) >= math.Abs(rX2) {
+		t.Errorf("ibmqx4 |corr| %v not weaker than ibmqx2 %v", r, rX2)
+	}
+	// Non-monotone: some weight-1 state must be weaker than some
+	// weight-3 state.
+	minW1, maxW3 := 1.0, 0.0
+	for _, b := range bitstring.All(5) {
+		s := bms[b.Uint64()]
+		switch b.HammingWeight() {
+		case 1:
+			if s < minW1 {
+				minW1 = s
+			}
+		case 3:
+			if s > maxW3 {
+				maxW3 = s
+			}
+		}
+	}
+	if minW1 >= maxW3 {
+		t.Errorf("ibmqx4 bias is monotone: min(w=1)=%v >= max(w=3)=%v", minW1, maxW3)
+	}
+	// The strongest state need not be all-zeros on this machine, but
+	// all-ones should still be weak overall.
+	if bms[31] > bms[0] {
+		t.Errorf("BMS(11111)=%v > BMS(00000)=%v", bms[31], bms[0])
+	}
+}
+
+func TestMelbourneBiasMonotoneByWeight(t *testing.T) {
+	// Paper Fig 5: average relative BMS decreases with Hamming weight on
+	// melbourne (shown for 10 qubits; exact over the first 10 here).
+	d := IBMQMelbourne()
+	sub := &noise.ReadoutModel{PerQubit: d.ReadoutModel().PerQubit[:10]}
+	avg := metrics.AverageByHammingWeight(sub.ExactBMS(), 10)
+	for w := 1; w <= 10; w++ {
+		if avg[w] >= avg[w-1] {
+			t.Errorf("avg BMS at weight %d (%v) >= weight %d (%v)", w, avg[w], w-1, avg[w-1])
+		}
+	}
+	rel := metrics.Relative(avg)
+	if rel[10] > 0.6 || rel[10] < 0.2 {
+		t.Errorf("relative BMS at weight 10 = %v, paper shows ≈ 0.45", rel[10])
+	}
+}
+
+func TestConnectedAndNeighbors(t *testing.T) {
+	d := IBMQX2()
+	if !d.Connected(0, 1) || !d.Connected(1, 0) {
+		t.Error("0-1 should be connected")
+	}
+	if d.Connected(0, 4) {
+		t.Error("0-4 should not be connected")
+	}
+	nb := d.Neighbors(2)
+	want := []int{0, 1, 3, 4}
+	if len(nb) != len(want) {
+		t.Fatalf("Neighbors(2) = %v", nb)
+	}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Fatalf("Neighbors(2) = %v, want %v", nb, want)
+		}
+	}
+}
+
+func TestGate2Error(t *testing.T) {
+	d := IBMQX2()
+	if e, err := d.Gate2Error(3, 4); err != nil || e != 0.030 {
+		t.Errorf("Gate2Error(3,4) = %v, %v", e, err)
+	}
+	if e, err := d.Gate2Error(4, 3); err != nil || e != 0.030 {
+		t.Errorf("Gate2Error(4,3) = %v, %v", e, err)
+	}
+	if _, err := d.Gate2Error(0, 4); err == nil {
+		t.Error("uncoupled pair accepted")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	d := IBMQMelbourne()
+	p := d.ShortestPath(0, 6)
+	if len(p) != 7 || p[0] != 0 || p[6] != 6 {
+		t.Errorf("path 0→6 = %v", p)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !d.Connected(p[i], p[i+1]) {
+			t.Errorf("path step %d-%d not coupled", p[i], p[i+1])
+		}
+	}
+	if got := d.ShortestPath(3, 3); len(got) != 1 || got[0] != 3 {
+		t.Errorf("self path = %v", got)
+	}
+	// Cross-row path should use a rung, shorter than going around.
+	p2 := d.ShortestPath(0, 13)
+	if len(p2) != 3 { // 0-1-13
+		t.Errorf("path 0→13 = %v, want length 3", p2)
+	}
+}
+
+func TestShortestPathDisconnected(t *testing.T) {
+	d := &Device{Name: "split", NumQubits: 3, Qubits: make([]Qubit, 3),
+		Links: []Link{{A: 0, B: 1, Gate2Error: 0.02}}}
+	if p := d.ShortestPath(0, 2); p != nil {
+		t.Errorf("disconnected path = %v", p)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := IBMQX4()
+	c := d.Clone()
+	c.Qubits[0].T1 = 1
+	c.Links[0].Gate2Error = 0.9
+	c.Correlations[0].PExtra = 0.9
+	if d.Qubits[0].T1 == 1 || d.Links[0].Gate2Error == 0.9 || d.Correlations[0].PExtra == 0.9 {
+		t.Error("Clone shares memory with original")
+	}
+}
+
+func TestCalibrateDeterministicAndBounded(t *testing.T) {
+	d := IBMQX4()
+	c1 := d.Calibrate(7)
+	c2 := d.Calibrate(7)
+	for i := range c1.Qubits {
+		if c1.Qubits[i] != c2.Qubits[i] {
+			t.Fatalf("cycle 7 not reproducible at qubit %d", i)
+		}
+	}
+	c3 := d.Calibrate(8)
+	same := true
+	for i := range c1.Qubits {
+		if c1.Qubits[i] != c3.Qubits[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("cycles 7 and 8 identical")
+	}
+	// Jitter bounded by driftFraction.
+	for i := range c1.Qubits {
+		rel := math.Abs(c1.Qubits[i].Readout.P01-d.Qubits[i].Readout.P01) / math.Max(d.Qubits[i].Readout.P01, 1e-12)
+		if rel > driftFraction+1e-9 {
+			t.Errorf("qubit %d P01 drift %v exceeds %v", i, rel, driftFraction)
+		}
+	}
+	if err := c1.Validate(); err != nil {
+		t.Errorf("calibrated device invalid: %v", err)
+	}
+}
+
+func TestCalibrationBiasIsRepeatable(t *testing.T) {
+	// Paper §6.1: ibmqx4's arbitrary bias is repeatable across 100
+	// calibration cycles. The *ordering* of weak states should be highly
+	// stable: the weakest state of the nominal model stays weak.
+	d := IBMQX4()
+	nominal := d.ReadoutModel().ExactBMS()
+	weakest := 0
+	for i, s := range nominal {
+		if s < nominal[weakest] {
+			weakest = i
+		}
+	}
+	for cycle := 0; cycle < 100; cycle++ {
+		bms := d.Calibrate(cycle).ReadoutModel().ExactBMS()
+		// The nominal weakest state must remain in the bottom quartile.
+		worse := 0
+		for _, s := range bms {
+			if s < bms[weakest] {
+				worse++
+			}
+		}
+		if worse > 8 {
+			t.Fatalf("cycle %d: nominal weakest state ranks %d from bottom", cycle, worse+1)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ibmqx2", "ibmqx4", "ibmq-melbourne", "melbourne", "ibmq_melbourne"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("ibmq-tokyo"); ok {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestValidateRejectsBadDevices(t *testing.T) {
+	good := IBMQX2()
+	cases := []func(d *Device){
+		func(d *Device) { d.NumQubits = 0 },
+		func(d *Device) { d.Qubits = d.Qubits[:2] },
+		func(d *Device) { d.Qubits[0].T1 = -1 },
+		func(d *Device) { d.Qubits[0].Readout.P01 = 2 },
+		func(d *Device) { d.Qubits[0].Gate1Error = 1.5 },
+		func(d *Device) { d.Links[0].A = d.Links[0].B },
+		func(d *Device) { d.Links[0].B = 99 },
+		func(d *Device) { d.Links[0].Gate2Error = -0.1 },
+		func(d *Device) {
+			d.Correlations = []noise.CorrelatedFlip{{Trigger: 0, Target: 0, PExtra: 0.1}}
+		},
+	}
+	for i, mutate := range cases {
+		d := good.Clone()
+		mutate(d)
+		if d.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadoutForTargetHitsEffectiveAverage(t *testing.T) {
+	for _, c := range []struct{ avg, ratio, dur, t1 float64 }{
+		{0.04, 3, 1.0, 60},
+		{0.10, 2, 1.4, 50},
+		{0.05, 0.5, 1.0, 55},
+	} {
+		r := readoutForTarget(c.avg, c.ratio, c.dur, c.t1)
+		eff := r.WithT1Decay(c.dur, c.t1)
+		if got := eff.Average(); math.Abs(got-c.avg) > 1e-9 {
+			t.Errorf("effective avg = %v, want %v (case %+v)", got, c.avg, c)
+		}
+		if got := eff.P10 / eff.P01; math.Abs(got-c.ratio) > 1e-6 {
+			t.Errorf("effective ratio = %v, want %v (case %+v)", got, c.ratio, c)
+		}
+	}
+}
+
+func TestCheapestPathAvoidsNoisyLink(t *testing.T) {
+	// Triangle 0-1-2 where the direct 0-2 link is terrible: Dijkstra must
+	// detour through 1.
+	d := &Device{Name: "tri", NumQubits: 3, Qubits: make([]Qubit, 3), Links: []Link{
+		{A: 0, B: 1, Gate2Error: 0.01},
+		{A: 1, B: 2, Gate2Error: 0.01},
+		{A: 0, B: 2, Gate2Error: 0.40},
+	}}
+	for i := range d.Qubits {
+		d.Qubits[i].T1 = 50
+	}
+	got := d.CheapestPath(0, 2)
+	want := []int{0, 1, 2}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("CheapestPath = %v, want %v", got, want)
+	}
+	// Hop-count routing takes the direct link.
+	if hops := d.ShortestPath(0, 2); len(hops) != 2 {
+		t.Errorf("ShortestPath = %v", hops)
+	}
+	// Self path and disconnected cases.
+	if p := d.CheapestPath(1, 1); len(p) != 1 || p[0] != 1 {
+		t.Errorf("self path = %v", p)
+	}
+	split := &Device{Name: "split", NumQubits: 3, Qubits: make([]Qubit, 3),
+		Links: []Link{{A: 0, B: 1, Gate2Error: 0.02}}}
+	if p := split.CheapestPath(0, 2); p != nil {
+		t.Errorf("disconnected cheapest path = %v", p)
+	}
+}
+
+func TestCheapestPathMatchesShortestOnUniformLinks(t *testing.T) {
+	d := IBMQMelbourne()
+	// Make all links equal so both routers agree on path length.
+	for i := range d.Links {
+		d.Links[i].Gate2Error = 0.03
+	}
+	for _, pair := range [][2]int{{0, 6}, {0, 13}, {7, 6}} {
+		s := d.ShortestPath(pair[0], pair[1])
+		c := d.CheapestPath(pair[0], pair[1])
+		if len(s) != len(c) {
+			t.Errorf("%v: shortest %v vs cheapest %v", pair, s, c)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package device
+
+import (
+	"fmt"
+	"math/rand"
+
+	"biasmit/internal/noise"
+)
+
+// SyntheticSpec parameterizes a generated machine model. The zero value
+// of any field selects a realistic default, so SyntheticSpec{NumQubits: 16}
+// already produces a usable device.
+type SyntheticSpec struct {
+	NumQubits int
+	// Topology selects the coupling graph: "line", "ring", "ladder"
+	// (default), or "grid" (nearest square).
+	Topology string
+	// MeanReadoutError is the average effective measurement error across
+	// qubits (default 0.05); per-qubit errors spread log-normally around
+	// it, with the worst qubit a few times the mean (as on real
+	// calibration sheets).
+	MeanReadoutError float64
+	// Asymmetry is the mean effective P10/P01 ratio (default 3.0,
+	// matching superconducting readout).
+	Asymmetry float64
+	// Crosstalk adds this many random correlated-readout pairs between
+	// coupled qubits with 2-6% extra flip probability.
+	Crosstalk int
+	// Seed drives all sampled parameters; equal specs with equal seeds
+	// build identical machines.
+	Seed int64
+}
+
+func (s SyntheticSpec) withDefaults() SyntheticSpec {
+	if s.Topology == "" {
+		s.Topology = "ladder"
+	}
+	if s.MeanReadoutError == 0 {
+		s.MeanReadoutError = 0.05
+	}
+	if s.Asymmetry == 0 {
+		s.Asymmetry = 3.0
+	}
+	return s
+}
+
+// Synthetic generates a device model from the spec: realistic T1 spread,
+// log-normal readout errors centred on the requested mean, gate errors
+// in the paper's reported ranges, and the chosen topology. It exists for
+// scaling studies beyond the three paper machines — e.g. exercising AWCT
+// characterization or SIM/AIM on 16–20 qubit registers.
+func Synthetic(spec SyntheticSpec) (*Device, error) {
+	spec = spec.withDefaults()
+	if spec.NumQubits < 2 {
+		return nil, fmt.Errorf("device: synthetic machine needs at least 2 qubits, got %d", spec.NumQubits)
+	}
+	if spec.NumQubits > 24 {
+		return nil, fmt.Errorf("device: synthetic machine capped at 24 qubits, got %d", spec.NumQubits)
+	}
+	if spec.MeanReadoutError < 0 || spec.MeanReadoutError > 0.4 {
+		return nil, fmt.Errorf("device: mean readout error %v out of (0, 0.4]", spec.MeanReadoutError)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	d := &Device{
+		Name:            fmt.Sprintf("synthetic-%s-%d", spec.Topology, spec.NumQubits),
+		NumQubits:       spec.NumQubits,
+		Gate1Duration:   defaultGate1Duration,
+		Gate2Duration:   defaultGate2Duration,
+		ReadoutDuration: defaultReadoutDuration,
+	}
+	for q := 0; q < spec.NumQubits; q++ {
+		t1 := 45 + 30*rng.Float64() // 45–75 µs
+		// Log-normal-ish spread: most qubits near the mean, a heavy tail.
+		e := spec.MeanReadoutError * (0.4 + 1.2*rng.Float64())
+		if rng.Float64() < 0.1 {
+			e *= 2.5 + 2*rng.Float64() // the occasional terrible qubit
+		}
+		if e > 0.45 {
+			e = 0.45
+		}
+		ratio := spec.Asymmetry * (0.6 + 0.8*rng.Float64())
+		d.Qubits = append(d.Qubits, Qubit{
+			T1:         t1,
+			T2:         t1 * (0.6 + 0.3*rng.Float64()),
+			Readout:    readoutForTarget(e, ratio, d.ReadoutDuration, t1),
+			Gate1Error: 0.001 + 0.002*rng.Float64(),
+		})
+	}
+
+	edges, err := topologyEdges(spec.Topology, spec.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range edges {
+		d.Links = append(d.Links, Link{A: e[0], B: e[1], Gate2Error: 0.02 + 0.03*rng.Float64()})
+	}
+
+	for i := 0; i < spec.Crosstalk && len(d.Links) > 0; i++ {
+		l := d.Links[rng.Intn(len(d.Links))]
+		trigger, target := l.A, l.B
+		if rng.Intn(2) == 0 {
+			trigger, target = target, trigger
+		}
+		d.Correlations = append(d.Correlations, noise.CorrelatedFlip{
+			Trigger:      trigger,
+			TriggerState: true,
+			Target:       target,
+			PExtra:       0.02 + 0.04*rng.Float64(),
+		})
+	}
+
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("device: generated machine invalid: %w", err)
+	}
+	return d, nil
+}
+
+// topologyEdges builds the coupling list for a named topology.
+func topologyEdges(topology string, n int) ([][2]int, error) {
+	var edges [][2]int
+	switch topology {
+	case "line":
+		for q := 0; q+1 < n; q++ {
+			edges = append(edges, [2]int{q, q + 1})
+		}
+	case "ring":
+		for q := 0; q+1 < n; q++ {
+			edges = append(edges, [2]int{q, q + 1})
+		}
+		if n > 2 {
+			edges = append(edges, [2]int{n - 1, 0})
+		}
+	case "ladder":
+		half := n / 2
+		for q := 0; q+1 < half; q++ {
+			edges = append(edges, [2]int{q, q + 1})
+		}
+		for q := half; q+1 < n; q++ {
+			edges = append(edges, [2]int{q, q + 1})
+		}
+		for q := 0; q < half && q+half < n; q++ {
+			edges = append(edges, [2]int{q, q + half})
+		}
+	case "grid":
+		cols := 1
+		for cols*cols < n {
+			cols++
+		}
+		for q := 0; q < n; q++ {
+			r, c := q/cols, q%cols
+			if c+1 < cols && q+1 < n {
+				edges = append(edges, [2]int{q, q + 1})
+			}
+			if (r+1)*cols+c < n {
+				edges = append(edges, [2]int{q, (r+1)*cols + c})
+			}
+		}
+	default:
+		return nil, fmt.Errorf("device: unknown topology %q (want line, ring, ladder, grid)", topology)
+	}
+	return edges, nil
+}

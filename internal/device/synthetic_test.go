@@ -1,0 +1,128 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSyntheticDefaults(t *testing.T) {
+	d, err := Synthetic(SyntheticSpec{NumQubits: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumQubits != 16 || len(d.Qubits) != 16 {
+		t.Errorf("qubits = %d", d.NumQubits)
+	}
+	// Ladder default: connected graph.
+	for q := 1; q < d.NumQubits; q++ {
+		if d.ShortestPath(0, q) == nil {
+			t.Errorf("qubit %d unreachable", q)
+		}
+	}
+	// Mean effective readout error near the 5% default.
+	_, avg, _ := d.MeasurementErrorStats()
+	if avg < 0.02 || avg > 0.12 {
+		t.Errorf("mean readout error = %v, want near 0.05", avg)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	spec := SyntheticSpec{NumQubits: 10, Topology: "grid", Crosstalk: 2, Seed: 7}
+	a, err := Synthetic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range a.Qubits {
+		if a.Qubits[q] != b.Qubits[q] {
+			t.Fatalf("qubit %d differs between identical specs", q)
+		}
+	}
+	c, err := Synthetic(SyntheticSpec{NumQubits: 10, Topology: "grid", Crosstalk: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for q := range a.Qubits {
+		if a.Qubits[q] != c.Qubits[q] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds built identical machines")
+	}
+}
+
+func TestSyntheticTopologies(t *testing.T) {
+	for _, topo := range []string{"line", "ring", "ladder", "grid"} {
+		d, err := Synthetic(SyntheticSpec{NumQubits: 9, Topology: topo, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		for q := 1; q < 9; q++ {
+			if d.ShortestPath(0, q) == nil {
+				t.Errorf("%s: qubit %d unreachable", topo, q)
+			}
+		}
+	}
+	// Ring has one more edge than line.
+	line, _ := Synthetic(SyntheticSpec{NumQubits: 6, Topology: "line", Seed: 4})
+	ring, _ := Synthetic(SyntheticSpec{NumQubits: 6, Topology: "ring", Seed: 4})
+	if len(ring.Links) != len(line.Links)+1 {
+		t.Errorf("ring %d links vs line %d", len(ring.Links), len(line.Links))
+	}
+}
+
+func TestSyntheticCrosstalk(t *testing.T) {
+	d, err := Synthetic(SyntheticSpec{NumQubits: 8, Crosstalk: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Correlations) != 3 {
+		t.Errorf("correlations = %d", len(d.Correlations))
+	}
+	for _, c := range d.Correlations {
+		if !d.Connected(c.Trigger, c.Target) {
+			t.Errorf("crosstalk %d->%d not on a coupled pair", c.Trigger, c.Target)
+		}
+	}
+}
+
+func TestSyntheticMeanReadoutTracksSpec(t *testing.T) {
+	lo, err := Synthetic(SyntheticSpec{NumQubits: 20, MeanReadoutError: 0.02, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Synthetic(SyntheticSpec{NumQubits: 20, MeanReadoutError: 0.15, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, avgLo, _ := lo.MeasurementErrorStats()
+	_, avgHi, _ := hi.MeasurementErrorStats()
+	if avgHi <= avgLo*2 {
+		t.Errorf("mean error did not scale: %v vs %v", avgLo, avgHi)
+	}
+	if math.IsNaN(avgHi) || math.IsNaN(avgLo) {
+		t.Error("NaN stats")
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	cases := []SyntheticSpec{
+		{NumQubits: 1},
+		{NumQubits: 30},
+		{NumQubits: 8, Topology: "torus"},
+		{NumQubits: 8, MeanReadoutError: 0.9},
+	}
+	for i, spec := range cases {
+		if _, err := Synthetic(spec); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"biasmit/internal/bitstring"
+)
+
+func bs(s string) bitstring.Bits { return bitstring.MustParse(s) }
+
+func TestCountsAddGetTotal(t *testing.T) {
+	c := NewCounts(3)
+	c.Add(bs("101"), 3)
+	c.Add(bs("001"), 1)
+	c.Add(bs("101"), 2)
+	if got := c.Get(bs("101")); got != 5 {
+		t.Errorf("Get(101) = %d, want 5", got)
+	}
+	if got := c.Get(bs("111")); got != 0 {
+		t.Errorf("Get(111) = %d, want 0", got)
+	}
+	if c.Total() != 6 {
+		t.Errorf("Total = %d, want 6", c.Total())
+	}
+}
+
+func TestCountsZeroAddIsNoop(t *testing.T) {
+	c := NewCounts(2)
+	c.Add(bs("01"), 0)
+	if c.Total() != 0 || len(c.Outcomes()) != 0 {
+		t.Error("Add(_,0) changed the histogram")
+	}
+}
+
+func TestCountsWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCounts(3).Add(bs("0101"), 1)
+}
+
+func TestCountsMerge(t *testing.T) {
+	a, b := NewCounts(2), NewCounts(2)
+	a.Add(bs("00"), 2)
+	a.Add(bs("11"), 1)
+	b.Add(bs("11"), 4)
+	b.Add(bs("01"), 3)
+	a.Merge(b)
+	if a.Total() != 10 || a.Get(bs("11")) != 5 || a.Get(bs("01")) != 3 {
+		t.Errorf("merge result: total=%d 11=%d 01=%d", a.Total(), a.Get(bs("11")), a.Get(bs("01")))
+	}
+}
+
+func TestXorTransformCounts(t *testing.T) {
+	// Paper Fig 7: inverted-mode raw outcomes are XORed with the
+	// inversion string to recover logical outcomes.
+	c := NewCounts(3)
+	c.Add(bs("010"), 75)
+	c.Add(bs("000"), 15)
+	fixed := c.XorTransform(bs("111"))
+	if fixed.Get(bs("101")) != 75 || fixed.Get(bs("111")) != 15 {
+		t.Errorf("XorTransform: %v", fixed.m)
+	}
+	if fixed.Total() != 90 {
+		t.Errorf("total = %d", fixed.Total())
+	}
+}
+
+func TestDistNormalizeAndMass(t *testing.T) {
+	c := NewCounts(2)
+	c.Add(bs("00"), 3)
+	c.Add(bs("11"), 1)
+	d := c.Dist()
+	if math.Abs(d.Mass()-1) > 1e-12 {
+		t.Errorf("mass = %v", d.Mass())
+	}
+	if math.Abs(d.Prob(bs("00"))-0.75) > 1e-12 {
+		t.Errorf("P(00) = %v", d.Prob(bs("00")))
+	}
+	un := Dist{Width: 1, P: map[bitstring.Bits]float64{bs("0"): 2, bs("1"): 6}}
+	n := un.Normalize()
+	if math.Abs(n.Prob(bs("1"))-0.75) > 1e-12 {
+		t.Errorf("normalized P(1) = %v", n.Prob(bs("1")))
+	}
+}
+
+func TestMixMatchesPaperFig7(t *testing.T) {
+	// Paper Fig 7: standard mode A {001:.45,101:.35,100:.15,000:.05},
+	// inverted mode after correction C {101:.75,111:.15,100:.05,001:.05};
+	// merged D {101:.55, 001:.25, 100:.10, 000:.025, 111:.075}.
+	a := Dist{Width: 3, P: map[bitstring.Bits]float64{
+		bs("001"): 0.45, bs("101"): 0.35, bs("100"): 0.15, bs("000"): 0.05,
+	}}
+	c := Dist{Width: 3, P: map[bitstring.Bits]float64{
+		bs("101"): 0.75, bs("111"): 0.15, bs("100"): 0.05, bs("001"): 0.05,
+	}}
+	merged := Mix([]Dist{a, c}, []float64{1, 1})
+	want := map[string]float64{"101": 0.55, "001": 0.25, "100": 0.10, "000": 0.025, "111": 0.075}
+	for s, p := range want {
+		if got := merged.Prob(bs(s)); math.Abs(got-p) > 1e-12 {
+			t.Errorf("merged P(%s) = %v, want %v", s, got, p)
+		}
+	}
+}
+
+func TestTVD(t *testing.T) {
+	a := Dist{Width: 1, P: map[bitstring.Bits]float64{bs("0"): 1}}
+	b := Dist{Width: 1, P: map[bitstring.Bits]float64{bs("1"): 1}}
+	if got := a.TVD(b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("disjoint TVD = %v, want 1", got)
+	}
+	if got := a.TVD(a); got != 0 {
+		t.Errorf("self TVD = %v", got)
+	}
+}
+
+func TestTopKAndRank(t *testing.T) {
+	d := Dist{Width: 2, P: map[bitstring.Bits]float64{
+		bs("00"): 0.5, bs("01"): 0.3, bs("10"): 0.15, bs("11"): 0.05,
+	}}
+	top := d.TopK(2)
+	if len(top) != 2 || top[0] != bs("00") || top[1] != bs("01") {
+		t.Errorf("TopK = %v", top)
+	}
+	if got := d.Rank(bs("00")); got != 1 {
+		t.Errorf("Rank(00) = %d", got)
+	}
+	if got := d.Rank(bs("11")); got != 4 {
+		t.Errorf("Rank(11) = %d", got)
+	}
+	if got := d.Rank(bs("01")); got != 2 {
+		t.Errorf("Rank(01) = %d", got)
+	}
+}
+
+func TestRankUnobservedOutcome(t *testing.T) {
+	d := Dist{Width: 2, P: map[bitstring.Bits]float64{bs("00"): 0.9, bs("01"): 0.1}}
+	if got := d.Rank(bs("11")); got != 3 {
+		t.Errorf("Rank(unseen) = %d, want 3", got)
+	}
+}
+
+func TestTopKDeterministicTies(t *testing.T) {
+	d := Dist{Width: 2, P: map[bitstring.Bits]float64{
+		bs("11"): 0.25, bs("10"): 0.25, bs("01"): 0.25, bs("00"): 0.25,
+	}}
+	top := d.TopK(4)
+	want := []string{"00", "01", "10", "11"}
+	for i, s := range want {
+		if top[i] != bs(s) {
+			t.Fatalf("tie order: got %v", top)
+		}
+	}
+}
+
+func TestSamplerMatchesDistribution(t *testing.T) {
+	d := Dist{Width: 2, P: map[bitstring.Bits]float64{
+		bs("00"): 0.6, bs("01"): 0.25, bs("10"): 0.1, bs("11"): 0.05,
+	}}
+	rng := rand.New(rand.NewSource(7))
+	c := NewSampler(d).SampleCounts(rng, 200000)
+	got := c.Dist()
+	if tvd := got.TVD(d); tvd > 0.01 {
+		t.Errorf("sampled TVD = %v, want < 0.01", tvd)
+	}
+}
+
+func TestSamplerPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSampler(NewDist(2))
+}
+
+// Property: XorTransform preserves total count and is an involution.
+func TestQuickXorTransformInvolution(t *testing.T) {
+	f := func(entries []uint16, sraw uint16) bool {
+		const width = 6
+		c := NewCounts(width)
+		for i, e := range entries {
+			c.Add(bitstring.New(uint64(e), width), i%5+1)
+		}
+		s := bitstring.New(uint64(sraw), width)
+		twice := c.XorTransform(s).XorTransform(s)
+		if twice.Total() != c.Total() {
+			return false
+		}
+		for _, b := range c.Outcomes() {
+			if twice.Get(b) != c.Get(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dist() of any non-empty Counts has unit mass, and
+// XorTransform preserves mass exactly.
+func TestQuickMassConservation(t *testing.T) {
+	f := func(entries []uint16, sraw uint16) bool {
+		const width = 5
+		c := NewCounts(width)
+		for i, e := range entries {
+			c.Add(bitstring.New(uint64(e), width), i%7+1)
+		}
+		if c.Total() == 0 {
+			return true
+		}
+		d := c.Dist()
+		s := bitstring.New(uint64(sraw), width)
+		return math.Abs(d.Mass()-1) < 1e-9 && math.Abs(d.XorTransform(s).Mass()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mix with weights proportional to trial counts equals the Dist
+// of the merged Counts (SIM's two equivalent implementations).
+func TestQuickMixEqualsMergedCounts(t *testing.T) {
+	f := func(e1, e2 []uint8) bool {
+		const width = 4
+		a, b := NewCounts(width), NewCounts(width)
+		for _, e := range e1 {
+			a.Add(bitstring.New(uint64(e), width), 1)
+		}
+		for _, e := range e2 {
+			b.Add(bitstring.New(uint64(e), width), 1)
+		}
+		if a.Total() == 0 || b.Total() == 0 {
+			return true
+		}
+		mixed := Mix([]Dist{a.Dist(), b.Dist()}, []float64{float64(a.Total()), float64(b.Total())})
+		merged := a.Clone()
+		merged.Merge(b)
+		return mixed.TVD(merged.Dist()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	c := NewCounts(1)
+	c.Add(bs("1"), 50)
+	c.Add(bs("0"), 50)
+	lo, hi := c.WilsonInterval(bs("1"), 1.96)
+	if !(lo < 0.5 && 0.5 < hi) {
+		t.Errorf("interval [%v,%v] does not contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("interval too wide at n=100: [%v,%v]", lo, hi)
+	}
+	// More shots shrink the interval.
+	big := NewCounts(1)
+	big.Add(bs("1"), 5000)
+	big.Add(bs("0"), 5000)
+	lo2, hi2 := big.WilsonInterval(bs("1"), 1.96)
+	if hi2-lo2 >= hi-lo {
+		t.Errorf("interval did not shrink: [%v,%v] vs [%v,%v]", lo2, hi2, lo, hi)
+	}
+	// Extremes stay within [0,1] and an empty histogram is vacuous.
+	zero := NewCounts(1)
+	zero.Add(bs("0"), 10)
+	lo3, hi3 := zero.WilsonInterval(bs("1"), 1.96)
+	if lo3 < 0 || lo3 > hi3 {
+		t.Errorf("degenerate interval [%v,%v]", lo3, hi3)
+	}
+	l, h := NewCounts(1).WilsonInterval(bs("0"), 1.96)
+	if l != 0 || h != 1 {
+		t.Errorf("empty histogram interval [%v,%v]", l, h)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	det := Dist{Width: 2, P: map[bitstring.Bits]float64{bs("01"): 1}}
+	if got := det.Entropy(); got != 0 {
+		t.Errorf("deterministic entropy = %v", got)
+	}
+	uniform := Dist{Width: 2, P: map[bitstring.Bits]float64{
+		bs("00"): 0.25, bs("01"): 0.25, bs("10"): 0.25, bs("11"): 0.25,
+	}}
+	if got := uniform.Entropy(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("uniform entropy = %v, want 2", got)
+	}
+	half := Dist{Width: 1, P: map[bitstring.Bits]float64{bs("0"): 0.5, bs("1"): 0.5}}
+	if got := half.Entropy(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("coin entropy = %v, want 1", got)
+	}
+}
+
+func TestKL(t *testing.T) {
+	p := Dist{Width: 1, P: map[bitstring.Bits]float64{bs("0"): 0.75, bs("1"): 0.25}}
+	q := Dist{Width: 1, P: map[bitstring.Bits]float64{bs("0"): 0.5, bs("1"): 0.5}}
+	want := 0.75*math.Log2(1.5) + 0.25*math.Log2(0.5)
+	if got := p.KL(q); math.Abs(got-want) > 1e-12 {
+		t.Errorf("KL = %v, want %v", got, want)
+	}
+	if got := p.KL(p); math.Abs(got) > 1e-12 {
+		t.Errorf("self KL = %v", got)
+	}
+	// Support mismatch → +Inf.
+	narrow := Dist{Width: 1, P: map[bitstring.Bits]float64{bs("0"): 1}}
+	if got := p.KL(narrow); !math.IsInf(got, 1) {
+		t.Errorf("unsupported mass KL = %v, want +Inf", got)
+	}
+	// KL is asymmetric but non-negative both ways here.
+	if p.KL(q) < 0 || q.KL(p) < 0 {
+		t.Error("negative KL")
+	}
+}

@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"fmt"
+
+	"biasmit/internal/bitstring"
+	"biasmit/internal/core"
+	"biasmit/internal/device"
+	"biasmit/internal/kernels"
+	"biasmit/internal/metrics"
+	"biasmit/internal/report"
+)
+
+// Figure1Result reproduces Fig 1: measuring the all-zero and all-one
+// states on an IBM-Q5 machine, with and without Invert-and-Measure.
+type Figure1Result struct {
+	Machine     string
+	PSTZeros    float64 // paper: 0.84
+	PSTOnes     float64 // paper: 0.62
+	PSTInverted float64 // paper: 0.78
+}
+
+// Figure1 runs the paper's motivating experiment on the ibmqx4 model.
+func Figure1(cfg Config) (Figure1Result, error) {
+	dev := device.IBMQX4()
+	m := machine(dev)
+	shots := cfg.shots(16000)
+	layout := identityLayout(5)
+
+	jobZeros, err := core.NewJobWithLayout(kernels.BasisPrep(bitstring.Zeros(5)), m, layout)
+	if err != nil {
+		return Figure1Result{}, err
+	}
+	cZeros, err := jobZeros.Baseline(shots, cfg.Seed+1)
+	if err != nil {
+		return Figure1Result{}, err
+	}
+	jobOnes, err := core.NewJobWithLayout(kernels.BasisPrep(bitstring.Ones(5)), m, layout)
+	if err != nil {
+		return Figure1Result{}, err
+	}
+	cOnes, err := jobOnes.Baseline(shots, cfg.Seed+2)
+	if err != nil {
+		return Figure1Result{}, err
+	}
+	cInv, err := jobOnes.RunWithInversion(bitstring.Ones(5), shots, cfg.Seed+3)
+	if err != nil {
+		return Figure1Result{}, err
+	}
+	return Figure1Result{
+		Machine:     dev.Name,
+		PSTZeros:    float64(cZeros.Get(bitstring.Zeros(5))) / float64(shots),
+		PSTOnes:     float64(cOnes.Get(bitstring.Ones(5))) / float64(shots),
+		PSTInverted: float64(cInv.Get(bitstring.Ones(5))) / float64(shots),
+	}, nil
+}
+
+// Render formats the result next to the paper's published values.
+func (r Figure1Result) Render() string {
+	return report.Table(
+		[]string{"measurement", "paper", "measured"},
+		[][]string{
+			{"all-zeros (00000), standard", "0.84", report.F(r.PSTZeros)},
+			{"all-ones (11111), standard", "0.62", report.F(r.PSTOnes)},
+			{"all-ones (11111), invert-and-measure", "0.78", report.F(r.PSTInverted)},
+		},
+	)
+}
+
+// Table1Row is one machine's measured readout error summary.
+type Table1Row struct {
+	Machine       string
+	Min, Avg, Max float64
+}
+
+// Table1Result reproduces Table 1: min/average/max measurement error per
+// machine, measured by preparing |0⟩ and |1⟩ on every qubit.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 measures the per-qubit readout error of all three machines the
+// way a standard calibration pass does: P(read 1 | prepared 0) from an
+// all-zeros preparation, and P(read 0 | prepared 1) by exciting one qubit
+// at a time (so readout crosstalk from other excited qubits does not
+// contaminate the per-qubit numbers).
+func Table1(cfg Config) (Table1Result, error) {
+	var res Table1Result
+	shots := cfg.shots(8192)
+	for _, dev := range device.AllMachines() {
+		m := readoutOnly(dev)
+		layout := identityLayout(dev.NumQubits)
+
+		measureFlip := func(state bitstring.Bits, q int, seed int64) (float64, error) {
+			job, err := core.NewJobWithLayout(kernels.BasisPrep(state), m, layout)
+			if err != nil {
+				return 0, err
+			}
+			counts, err := job.Baseline(shots, seed)
+			if err != nil {
+				return 0, err
+			}
+			flips := 0
+			for _, out := range counts.Outcomes() {
+				if out.Bit(q) != state.Bit(q) {
+					flips += counts.Get(out)
+				}
+			}
+			return float64(flips) / float64(counts.Total()), nil
+		}
+
+		row := Table1Row{Machine: dev.Name, Min: 1}
+		zeros := bitstring.Zeros(dev.NumQubits)
+		for q := 0; q < dev.NumQubits; q++ {
+			p01, err := measureFlip(zeros, q, cfg.Seed+11)
+			if err != nil {
+				return res, err
+			}
+			p10, err := measureFlip(zeros.SetBit(q, true), q, cfg.Seed+12+int64(q))
+			if err != nil {
+				return res, err
+			}
+			e := (p01 + p10) / 2
+			if e < row.Min {
+				row.Min = e
+			}
+			if e > row.Max {
+				row.Max = e
+			}
+			row.Avg += e
+		}
+		row.Avg /= float64(dev.NumQubits)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats Table 1 with the paper's published values alongside.
+func (r Table1Result) Render() string {
+	paper := map[string][3]string{
+		"ibmqx2":         {"1.20%", "3.8%", "12.8%"},
+		"ibmqx4":         {"3.4%", "8.2%", "20.7%"},
+		"ibmq-melbourne": {"2.2%", "8.12%", "31%"},
+	}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		p := paper[row.Machine]
+		rows = append(rows, []string{
+			row.Machine,
+			p[0], report.Pct(row.Min),
+			p[1], report.Pct(row.Avg),
+			p[2], report.Pct(row.Max),
+		})
+	}
+	return report.Table(
+		[]string{"machine", "paper min", "min", "paper avg", "avg", "paper max", "max"},
+		rows,
+	)
+}
+
+// Figure4Result reproduces Fig 4: relative BMS of all 32 ibmqx2 basis
+// states from direct measurement and from equal superposition, plus the
+// BMS↔Hamming-weight correlation (paper: −0.93).
+type Figure4Result struct {
+	Machine         string
+	States          []bitstring.Bits // ascending Hamming weight (x-axis order)
+	Direct          []float64        // relative BMS, direct basis measurement
+	ESCT            []float64        // relative BMS, equal superposition
+	Correlation     float64
+	ESCTvsDirectMSE float64
+}
+
+// Figure4 characterizes ibmqx2 both ways (§3.1 and Appendix A).
+func Figure4(cfg Config) (Figure4Result, error) {
+	dev := device.IBMQX2()
+	m := machine(dev)
+	prof := &core.Profiler{Machine: m, Layout: identityLayout(5)}
+
+	direct, err := prof.BruteForce(cfg.shots(16000), cfg.Seed+21)
+	if err != nil {
+		return Figure4Result{}, err
+	}
+	esct, err := prof.ESCT(cfg.shots(16000)*32, cfg.Seed+22)
+	if err != nil {
+		return Figure4Result{}, err
+	}
+	corr, err := direct.HammingCorrelation()
+	if err != nil {
+		return Figure4Result{}, err
+	}
+	mse, err := esct.MSE(direct)
+	if err != nil {
+		return Figure4Result{}, err
+	}
+
+	res := Figure4Result{
+		Machine:         dev.Name,
+		States:          bitstring.AllByHammingWeight(5),
+		Correlation:     corr,
+		ESCTvsDirectMSE: mse,
+	}
+	directRel, esctRel := direct.Relative(), esct.Relative()
+	for _, b := range res.States {
+		res.Direct = append(res.Direct, directRel.Of(b))
+		res.ESCT = append(res.ESCT, esctRel.Of(b))
+	}
+	return res, nil
+}
+
+// Render draws both curves in Hamming-weight order.
+func (r Figure4Result) Render() string {
+	labels := make([]string, len(r.States))
+	for i, b := range r.States {
+		labels[i] = b.String()
+	}
+	return fmt.Sprintf("relative BMS, direct measurement (corr with Hamming weight %.3f; paper -0.93):\n%s\nrelative BMS, equal superposition (MSE vs direct %.2e):\n%s",
+		r.Correlation, report.Bars(labels, r.Direct, 40),
+		r.ESCTvsDirectMSE, report.Bars(labels, r.ESCT, 40))
+}
+
+// Figure5Result reproduces Fig 5: melbourne's average relative BMS per
+// Hamming weight over 10-bit basis states (monotone decreasing, ~0.45 at
+// weight 10 in the paper).
+type Figure5Result struct {
+	Machine     string
+	ByWeight    []float64 // average relative strength, index = Hamming weight
+	Correlation float64
+}
+
+// Figure5 runs ESCT over 10 melbourne qubits (150k trials in the paper)
+// and averages the per-state strengths by Hamming weight.
+func Figure5(cfg Config) (Figure5Result, error) {
+	dev := device.IBMQMelbourne()
+	m := machine(dev)
+	// Ten-qubit window over the strongest row qubits, as an application
+	// would be allocated.
+	layout := []int{0, 1, 2, 3, 4, 5, 6, 8, 9, 10}
+	prof := &core.Profiler{Machine: m, Layout: layout}
+	esct, err := prof.ESCT(cfg.shots(150000), cfg.Seed+31)
+	if err != nil {
+		return Figure5Result{}, err
+	}
+	corr, err := esct.HammingCorrelation()
+	if err != nil {
+		return Figure5Result{}, err
+	}
+	avg := metrics.AverageByHammingWeight(esct.Strength, 10)
+	return Figure5Result{
+		Machine:     dev.Name,
+		ByWeight:    metrics.Relative(avg),
+		Correlation: corr,
+	}, nil
+}
+
+// Render draws the weight-binned curve.
+func (r Figure5Result) Render() string {
+	labels := make([]string, len(r.ByWeight))
+	for w := range labels {
+		labels[w] = fmt.Sprintf("weight %2d", w)
+	}
+	return fmt.Sprintf("average relative BMS by Hamming weight on %s (corr %.3f):\n%s",
+		r.Machine, r.Correlation, report.Bars(labels, r.ByWeight, 40))
+}
+
+// Figure15Result reproduces Fig 15: validation of ESCT and AWCT against
+// direct characterization on ibmqx4 (sum-normalized curves).
+type Figure15Result struct {
+	Machine         string
+	States          []bitstring.Bits
+	Direct          []float64
+	ESCT            []float64
+	AWCT            []float64
+	ESCTvsDirectMSE float64
+	AWCTvsDirectMSE float64
+}
+
+// Figure15 characterizes ibmqx4 three ways: per-state preparation, one
+// equal superposition, and the sliding-window technique with m=4,
+// overlap 2.
+func Figure15(cfg Config) (Figure15Result, error) {
+	dev := device.IBMQX4()
+	m := machine(dev)
+	prof := &core.Profiler{Machine: m, Layout: identityLayout(5)}
+
+	direct, err := prof.BruteForce(cfg.shots(16000), cfg.Seed+41)
+	if err != nil {
+		return Figure15Result{}, err
+	}
+	esct, err := prof.ESCT(cfg.shots(16000)*32, cfg.Seed+42)
+	if err != nil {
+		return Figure15Result{}, err
+	}
+	awct, err := prof.AWCT(4, 2, cfg.shots(16000)*8, cfg.Seed+43)
+	if err != nil {
+		return Figure15Result{}, err
+	}
+	mseESCT, err := esct.MSE(direct)
+	if err != nil {
+		return Figure15Result{}, err
+	}
+	mseAWCT, err := awct.MSE(direct)
+	if err != nil {
+		return Figure15Result{}, err
+	}
+	res := Figure15Result{
+		Machine:         dev.Name,
+		States:          bitstring.All(5),
+		ESCTvsDirectMSE: mseESCT,
+		AWCTvsDirectMSE: mseAWCT,
+	}
+	d, e, a := direct.NormalizeSum(), esct.NormalizeSum(), awct.NormalizeSum()
+	for _, b := range res.States {
+		res.Direct = append(res.Direct, d.Of(b))
+		res.ESCT = append(res.ESCT, e.Of(b))
+		res.AWCT = append(res.AWCT, a.Of(b))
+	}
+	return res, nil
+}
+
+// Render lists the three normalized curves side by side.
+func (r Figure15Result) Render() string {
+	rows := make([][]string, len(r.States))
+	for i, b := range r.States {
+		rows[i] = []string{
+			b.String(), report.F(r.Direct[i]), report.F(r.ESCT[i]), report.F(r.AWCT[i]),
+		}
+	}
+	return report.Table([]string{"state", "direct", "esct", "awct"}, rows) +
+		fmt.Sprintf("\nMSE vs direct: ESCT %.2e, AWCT %.2e (paper: within 5%%)\n",
+			r.ESCTvsDirectMSE, r.AWCTvsDirectMSE)
+}

@@ -1,0 +1,64 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the simulated machines. Each experiment is a pure
+// function of a Config, so cmd/paperfigs, the test suite, and the
+// benchmark harness all share one implementation.
+//
+// The per-experiment index (experiment id → workload → modules → bench
+// target) lives in DESIGN.md §4.
+package experiments
+
+import (
+	"biasmit/internal/backend"
+	"biasmit/internal/core"
+	"biasmit/internal/device"
+)
+
+// Config controls experiment fidelity and determinism.
+type Config struct {
+	// Scale multiplies the paper's published trial counts. 1.0 (the
+	// default) reproduces the paper's budgets; tests and quick benches
+	// use smaller values.
+	Scale float64
+	// Seed drives every random choice; equal seeds give equal results.
+	Seed int64
+}
+
+// scale returns the effective scale factor.
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1.0
+	}
+	return c.Scale
+}
+
+// shots converts one of the paper's trial counts into this run's budget,
+// with a floor that keeps split-mode policies statistically meaningful.
+func (c Config) shots(paper int) int {
+	s := int(float64(paper) * c.scale())
+	if s < 400 {
+		s = 400
+	}
+	return s
+}
+
+// machine builds the fully noisy machine model for a device.
+func machine(dev *device.Device) *core.Machine {
+	return core.NewMachine(dev)
+}
+
+// readoutOnly builds a machine with only readout noise, used by the
+// characterization experiments that isolate measurement error.
+func readoutOnly(dev *device.Device) *core.Machine {
+	m := core.NewMachine(dev)
+	m.Opt = backend.Options{NoGateNoise: true, NoDecay: true}
+	return m
+}
+
+// identityLayout returns [0, 1, …, n).
+func identityLayout(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

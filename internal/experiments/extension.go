@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"biasmit/internal/bitstring"
+	"biasmit/internal/core"
+	"biasmit/internal/correct"
+	"biasmit/internal/device"
+	"biasmit/internal/kernels"
+	"biasmit/internal/metrics"
+	"biasmit/internal/report"
+)
+
+// MitigationComparisonRow scores one policy on one workload.
+type MitigationComparisonRow struct {
+	Policy string
+	PST    float64
+	IST    float64
+	ROCA   int
+}
+
+// MitigationComparisonResult is the extension experiment: the paper's
+// Invert-and-Measure policies side by side with confusion-matrix readout
+// mitigation (the technique that became standard practice after
+// publication), on the same workload, machine, and trial budget.
+//
+// The comparison highlights the structural difference: matrix methods
+// post-process the estimated distribution (excellent when the channel is
+// stationary and well-sampled, but blind to drift and unable to raise
+// the information content of individual trials), while SIM/AIM change
+// which physical state gets measured. The two compose: matrix correction
+// can be applied on top of a SIM log.
+type MitigationComparisonResult struct {
+	Machine   string
+	Benchmark string
+	Target    bitstring.Bits
+	Rows      []MitigationComparisonRow
+}
+
+// MitigationComparison runs BV-4B (expected output 11111 — the paper's
+// most vulnerable state) on ibmqx4 under: baseline, SIM, AIM, tensored
+// matrix mitigation, full matrix mitigation, and SIM composed with
+// tensored mitigation.
+func MitigationComparison(cfg Config) (MitigationComparisonResult, error) {
+	dev := device.IBMQX4()
+	m := machine(dev)
+	bench := kernels.BV("bv-4B", bitstring.MustParse("1111"))
+	res := MitigationComparisonResult{
+		Machine:   dev.Name,
+		Benchmark: bench.Name,
+		Target:    bench.Correct[0],
+	}
+	job, err := core.NewJob(bench.Circuit, m)
+	if err != nil {
+		return res, err
+	}
+	layout := job.Plan.FinalLayout
+	shots := cfg.shots(32000)
+
+	baseline, err := job.Baseline(shots, cfg.Seed+700)
+	if err != nil {
+		return res, err
+	}
+	sim, err := core.SIM4(job, shots, cfg.Seed+701)
+	if err != nil {
+		return res, err
+	}
+	rbms, err := job.Profiler().BruteForce(cfg.shots(4096), cfg.Seed+702)
+	if err != nil {
+		return res, err
+	}
+	aim, err := core.AIM(job, rbms, core.AIMConfig{}, shots, cfg.Seed+703)
+	if err != nil {
+		return res, err
+	}
+	tensored, err := correct.LearnTensored(m, layout, cfg.shots(8192), cfg.Seed+704)
+	if err != nil {
+		return res, err
+	}
+	full, err := correct.LearnFull(m, layout, cfg.shots(4096), cfg.Seed+705)
+	if err != nil {
+		return res, err
+	}
+
+	tensoredDist, err := tensored.Apply(baseline)
+	if err != nil {
+		return res, err
+	}
+	fullDist, err := full.Apply(baseline)
+	if err != nil {
+		return res, err
+	}
+	simTensoredDist, err := tensored.Apply(sim.Merged)
+	if err != nil {
+		return res, err
+	}
+
+	for _, p := range []struct {
+		name string
+		pst  float64
+		ist  float64
+		roca int
+	}{
+		{"baseline", metrics.PST(baseline.Dist(), res.Target), metrics.IST(baseline.Dist(), res.Target), metrics.ROCA(baseline.Dist(), res.Target)},
+		{"SIM", metrics.PST(sim.Merged.Dist(), res.Target), metrics.IST(sim.Merged.Dist(), res.Target), metrics.ROCA(sim.Merged.Dist(), res.Target)},
+		{"AIM", metrics.PST(aim.Merged.Dist(), res.Target), metrics.IST(aim.Merged.Dist(), res.Target), metrics.ROCA(aim.Merged.Dist(), res.Target)},
+		{"matrix (tensored)", metrics.PST(tensoredDist, res.Target), metrics.IST(tensoredDist, res.Target), metrics.ROCA(tensoredDist, res.Target)},
+		{"matrix (full)", metrics.PST(fullDist, res.Target), metrics.IST(fullDist, res.Target), metrics.ROCA(fullDist, res.Target)},
+		{"SIM + tensored", metrics.PST(simTensoredDist, res.Target), metrics.IST(simTensoredDist, res.Target), metrics.ROCA(simTensoredDist, res.Target)},
+	} {
+		res.Rows = append(res.Rows, MitigationComparisonRow{
+			Policy: p.name, PST: p.pst, IST: p.ist, ROCA: p.roca,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the comparison.
+func (r MitigationComparisonResult) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Policy, report.Pct(row.PST), report.F(row.IST), fmt.Sprint(row.ROCA),
+		}
+	}
+	return fmt.Sprintf("%s on %s, target %v:\n", r.Benchmark, r.Machine, r.Target) +
+		report.Table([]string{"policy", "PST", "IST", "ROCA"}, rows)
+}

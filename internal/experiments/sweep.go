@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+
+	"biasmit/internal/bitstring"
+	"biasmit/internal/core"
+	"biasmit/internal/device"
+	"biasmit/internal/kernels"
+	"biasmit/internal/metrics"
+	"biasmit/internal/report"
+)
+
+// bvSweepLayout pins every BV-4 instance of the ibmqx4 sweeps to one
+// physical placement so policies and keys are compared on identical
+// qubits, as the paper's methodology requires. The layout comes from the
+// variability-aware placement of the all-ones-key instance (the one with
+// the most oracle CNOTs).
+func bvSweepLayout(m *core.Machine) ([]int, error) {
+	ref := kernels.BV("bv-layout-ref", bitstring.MustParse("1111"))
+	job, err := core.NewJob(ref.Circuit, m)
+	if err != nil {
+		return nil, err
+	}
+	return job.Plan.InitialLayout, nil
+}
+
+// Figure11Result reproduces Fig 11 on ibmqx4: (a) the PST of directly
+// measuring each 5-bit basis state — arbitrary, not monotone in Hamming
+// weight — and (b) the PST of BV-4 for every 5-bit expected output,
+// which tracks (a).
+type Figure11Result struct {
+	Machine          string
+	States           []bitstring.Bits // ascending Hamming weight (x-axis)
+	BasisPST         []float64        // (a)
+	BVPST            []float64        // (b)
+	Correlation      float64          // between (a) and (b); positive in the paper
+	BasisHammingCorr float64          // weak on ibmqx4 (§6.1)
+}
+
+// Figure11 sweeps all 32 basis states (16k trials each) and all 32 BV
+// targets (24k trials each, as in the paper).
+func Figure11(cfg Config) (Figure11Result, error) {
+	dev := device.IBMQX4()
+	m := machine(dev)
+	res := Figure11Result{Machine: dev.Name, States: bitstring.AllByHammingWeight(5)}
+
+	basisByValue := make([]float64, 32)
+	prepShots := cfg.shots(16000)
+	for _, b := range bitstring.All(5) {
+		job, err := core.NewJobWithLayout(kernels.BasisPrep(b), m, identityLayout(5))
+		if err != nil {
+			return res, err
+		}
+		counts, err := job.Baseline(prepShots, cfg.Seed+200+int64(b.Uint64()))
+		if err != nil {
+			return res, err
+		}
+		basisByValue[b.Uint64()] = float64(counts.Get(b)) / float64(prepShots)
+	}
+
+	layout, err := bvSweepLayout(m)
+	if err != nil {
+		return res, err
+	}
+	bvByValue := make([]float64, 32)
+	bvShots := cfg.shots(24000)
+	for _, target := range bitstring.All(5) {
+		bench := kernels.BVWithTarget("bv-4", target)
+		job, err := core.NewJobWithLayout(bench.Circuit, m, layout)
+		if err != nil {
+			return res, err
+		}
+		counts, err := job.Baseline(bvShots, cfg.Seed+300+int64(target.Uint64()))
+		if err != nil {
+			return res, err
+		}
+		bvByValue[target.Uint64()] = metrics.PST(counts.Dist(), target)
+	}
+
+	for _, b := range res.States {
+		res.BasisPST = append(res.BasisPST, basisByValue[b.Uint64()])
+		res.BVPST = append(res.BVPST, bvByValue[b.Uint64()])
+	}
+	if res.Correlation, err = metrics.Pearson(basisByValue, bvByValue); err != nil {
+		return res, err
+	}
+	if res.BasisHammingCorr, err = metrics.Pearson(metrics.HammingWeightSeries(5), basisByValue); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Render shows both sweeps and their correlation.
+func (r Figure11Result) Render() string {
+	labels := make([]string, len(r.States))
+	for i, b := range r.States {
+		labels[i] = b.String()
+	}
+	return fmt.Sprintf("(a) basis-state PST on %s (Hamming corr %.3f — arbitrary bias):\n%s\n(b) BV-4 PST per expected output (corr with (a): %.3f):\n%s",
+		r.Machine, r.BasisHammingCorr, report.Bars(labels, r.BasisPST, 40),
+		r.Correlation, report.Bars(labels, r.BVPST, 40))
+}
+
+// Figure13Row is one BV target's PST under the three policies.
+type Figure13Row struct {
+	Target   bitstring.Bits
+	Baseline float64
+	SIM      float64
+	AIM      float64
+}
+
+// Figure13Result reproduces Fig 13: BV on ibmqx4 for every 5-bit output
+// under baseline, SIM, and AIM. The paper's claims: AIM is consistently
+// high and nearly flat across states, except that the baseline wins on
+// the trivial all-zeros case.
+type Figure13Result struct {
+	Machine string
+	Rows    []Figure13Row // ascending Hamming weight
+	// Spreads quantify flatness (max-min PST across states).
+	BaselineSpread float64
+	SIMSpread      float64
+	AIMSpread      float64
+	// Means quantify overall level.
+	BaselineMean float64
+	SIMMean      float64
+	AIMMean      float64
+}
+
+// Figure13 runs the 32-target sweep under all three policies (24k trials
+// per instance in the paper). The machine RBMS is profiled once with the
+// brute-force technique, as the paper does for IBM-Q5.
+func Figure13(cfg Config) (Figure13Result, error) {
+	dev := device.IBMQX4()
+	m := machine(dev)
+	res := Figure13Result{Machine: dev.Name}
+
+	layout, err := bvSweepLayout(m)
+	if err != nil {
+		return res, err
+	}
+	prof := &core.Profiler{Machine: m, Layout: layout}
+	rbms, err := prof.BruteForce(cfg.shots(4096), cfg.Seed+400)
+	if err != nil {
+		return res, err
+	}
+
+	shots := cfg.shots(24000)
+	for i, target := range bitstring.AllByHammingWeight(5) {
+		bench := kernels.BVWithTarget("bv-4", target)
+		job, err := core.NewJobWithLayout(bench.Circuit, m, layout)
+		if err != nil {
+			return res, err
+		}
+		seed := cfg.Seed + 500 + int64(i)
+		base, err := job.Baseline(shots, seed+1000)
+		if err != nil {
+			return res, err
+		}
+		sim, err := core.SIM4(job, shots, seed+2000)
+		if err != nil {
+			return res, err
+		}
+		aim, err := core.AIM(job, rbms, core.AIMConfig{}, shots, seed+3000)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, Figure13Row{
+			Target:   target,
+			Baseline: metrics.PST(base.Dist(), target),
+			SIM:      metrics.PST(sim.Merged.Dist(), target),
+			AIM:      metrics.PST(aim.Merged.Dist(), target),
+		})
+	}
+
+	stats := func(get func(Figure13Row) float64) (spread, mean float64) {
+		min, max, sum := 1.0, 0.0, 0.0
+		for _, row := range res.Rows {
+			v := get(row)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			sum += v
+		}
+		return max - min, sum / float64(len(res.Rows))
+	}
+	res.BaselineSpread, res.BaselineMean = stats(func(r Figure13Row) float64 { return r.Baseline })
+	res.SIMSpread, res.SIMMean = stats(func(r Figure13Row) float64 { return r.SIM })
+	res.AIMSpread, res.AIMMean = stats(func(r Figure13Row) float64 { return r.AIM })
+	return res, nil
+}
+
+// Render tabulates the sweep and its flatness statistics.
+func (r Figure13Result) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Target.String(), report.F(row.Baseline), report.F(row.SIM), report.F(row.AIM),
+		}
+	}
+	return report.Table([]string{"state", "baseline", "SIM", "AIM"}, rows) +
+		fmt.Sprintf("\nmean PST: baseline %.3f, SIM %.3f, AIM %.3f\nspread (max-min): baseline %.3f, SIM %.3f, AIM %.3f (paper: AIM stays high and flat)\n",
+			r.BaselineMean, r.SIMMean, r.AIMMean,
+			r.BaselineSpread, r.SIMSpread, r.AIMSpread)
+}
+
+// Table3Row describes one benchmark of the suite.
+type Table3Row struct {
+	Name    string
+	Problem string
+	Output  string
+	Qubits  int
+	Gates1Q int
+	Gates2Q int
+	Depth   int
+}
+
+// Table3 reproduces the benchmark-characteristics table, extended with
+// the generated circuits' structural statistics (gate counts scale
+// linearly with problem size, §4.1).
+func Table3() []Table3Row {
+	descr := map[string][2]string{
+		"bv-4A":   {"4-bit Bernstein-Vazirani", "Secret: 0111"},
+		"bv-4B":   {"4-bit Bernstein-Vazirani", "Secret: 1111"},
+		"bv-6":    {"6-bit Bernstein-Vazirani", "Secret: 011111"},
+		"bv-7":    {"7-bit Bernstein-Vazirani", "Secret: 0111111"},
+		"qaoa-4A": {"max-cut for 4 node graph", "Output cut: 0101"},
+		"qaoa-4B": {"max-cut for 4 node graph (p=2)", "Output cut: 0111"},
+		"qaoa-6":  {"max-cut for 6 node graph (p=2)", "Output cut: 101011"},
+		"qaoa-7":  {"max-cut for 7 node graph (p=2)", "Output cut: 1010110"},
+	}
+	var rows []Table3Row
+	for _, b := range kernels.Table3Suite() {
+		d := descr[b.Name]
+		oneQ, twoQ, _ := b.Circuit.GateCounts()
+		rows = append(rows, Table3Row{
+			Name:    b.Name,
+			Problem: d[0],
+			Output:  d[1],
+			Qubits:  b.Width(),
+			Gates1Q: oneQ,
+			Gates2Q: twoQ,
+			Depth:   b.Circuit.Depth(),
+		})
+	}
+	return rows
+}
+
+// RenderTable3 formats the benchmark characteristics.
+func RenderTable3(rows []Table3Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Name, r.Problem, r.Output,
+			fmt.Sprint(r.Qubits), fmt.Sprint(r.Gates1Q), fmt.Sprint(r.Gates2Q), fmt.Sprint(r.Depth),
+		}
+	}
+	return report.Table([]string{"benchmark", "problem", "output", "qubits", "1q gates", "2q gates", "depth"}, out)
+}

@@ -1,0 +1,214 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"biasmit/internal/backend"
+	"biasmit/internal/bitstring"
+	"biasmit/internal/maxcut"
+	"biasmit/internal/metrics"
+)
+
+func bs(s string) bitstring.Bits { return bitstring.MustParse(s) }
+
+func TestGHZIdealDistribution(t *testing.T) {
+	for _, n := range []int{2, 5, 10} {
+		d := backend.RunIdeal(GHZ(n))
+		if p := d.Prob(bitstring.Zeros(n)); math.Abs(p-0.5) > 1e-9 {
+			t.Errorf("ghz-%d P(0…0) = %v", n, p)
+		}
+		if p := d.Prob(bitstring.Ones(n)); math.Abs(p-0.5) > 1e-9 {
+			t.Errorf("ghz-%d P(1…1) = %v", n, p)
+		}
+		if len(d.Outcomes()) != 2 {
+			t.Errorf("ghz-%d has %d outcomes", n, len(d.Outcomes()))
+		}
+	}
+}
+
+func TestBasisPrep(t *testing.T) {
+	b := bs("01101")
+	d := backend.RunIdeal(BasisPrep(b))
+	if p := d.Prob(b); math.Abs(p-1) > 1e-9 {
+		t.Errorf("P(%v) = %v", b, p)
+	}
+}
+
+func TestUniformSuperposition(t *testing.T) {
+	n := 4
+	d := backend.RunIdeal(UniformSuperposition(n))
+	want := 1.0 / 16
+	for _, b := range bitstring.All(n) {
+		if math.Abs(d.Prob(b)-want) > 1e-9 {
+			t.Errorf("P(%v) = %v", b, d.Prob(b))
+		}
+	}
+}
+
+func TestBVProducesKeyDeterministically(t *testing.T) {
+	// On an ideal machine BV outputs the secret key with probability 1
+	// (paper §4.1).
+	for _, key := range []string{"01", "11", "0111", "1111", "011111"} {
+		b := BV("bv", bs(key))
+		if b.Width() != len(key)+1 {
+			t.Errorf("bv(%s) width = %d", key, b.Width())
+		}
+		d := backend.RunIdeal(b.Circuit)
+		want := b.Correct[0]
+		if p := d.Prob(want); math.Abs(p-1) > 1e-9 {
+			t.Errorf("bv(%s): P(%v) = %v, dist %v", key, want, p, d.P)
+		}
+		// Expected output is key + ancilla 1.
+		if want.Slice(0, len(key)) != bs(key) {
+			t.Errorf("bv(%s) key part = %v", key, want)
+		}
+		if !want.Bit(len(key)) {
+			t.Errorf("bv(%s) ancilla bit not 1", key)
+		}
+	}
+}
+
+func TestBVWithTargetSweepsAllStates(t *testing.T) {
+	// Fig 13 sweeps all 32 5-bit outputs: every target must be produced
+	// with certainty on an ideal machine.
+	for _, target := range bitstring.All(5) {
+		b := BVWithTarget("bv-sweep", target)
+		d := backend.RunIdeal(b.Circuit)
+		if p := d.Prob(target); math.Abs(p-1) > 1e-9 {
+			t.Fatalf("target %v: P = %v", target, p)
+		}
+	}
+}
+
+func TestQAOACircuitStructure(t *testing.T) {
+	pg, err := maxcut.Table3Graph("qaoa-4A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	angles := QAOAAngles{Gammas: []float64{0.4}, Betas: []float64{0.3}}
+	c := QAOACircuit(pg.Graph, angles)
+	oneQ, twoQ, _ := c.GateCounts()
+	// Per edge: 2 CNOTs; per level: n mixers; plus n initial H and the RZs.
+	wantTwoQ := 2 * len(pg.Graph.Edges)
+	if twoQ != wantTwoQ {
+		t.Errorf("two-qubit gates = %d, want %d", twoQ, wantTwoQ)
+	}
+	wantOneQ := pg.Graph.N + len(pg.Graph.Edges) + pg.Graph.N // H + RZ + RX
+	if oneQ != wantOneQ {
+		t.Errorf("one-qubit gates = %d, want %d", oneQ, wantOneQ)
+	}
+}
+
+func TestOptimizedQAOAConcentratesOnOptimum(t *testing.T) {
+	// After angle optimization the ideal distribution must put the most
+	// mass on the optimal cut — the paper's premise that on an ideal
+	// machine the correct QAOA output has the highest frequency.
+	for _, name := range []string{"qaoa-4A", "qaoa-4B"} {
+		pg, err := maxcut.Table3Graph(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := 1
+		if name == "qaoa-4B" {
+			p = 2
+		}
+		b := QAOA(name, pg, p)
+		ideal := backend.RunIdeal(b.Circuit)
+		pst := metrics.PSTEquiv(ideal, b.Correct...)
+		if pst < 0.4 {
+			t.Errorf("%s ideal PST = %v, want concentrated mass", name, pst)
+		}
+		if rank := metrics.ROCA(ideal, b.Correct...); rank != 1 {
+			t.Errorf("%s ideal ROCA = %d", name, rank)
+		}
+	}
+}
+
+func TestQAOACorrectSetIsCutAndComplement(t *testing.T) {
+	pg, err := maxcut.Table3Graph("qaoa-6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := QAOA("qaoa-6", pg, 1)
+	if len(b.Correct) != 2 {
+		t.Fatalf("correct set = %v", b.Correct)
+	}
+	if b.Correct[0] != pg.Optimal || b.Correct[1] != pg.Optimal.Invert() {
+		t.Errorf("correct set = %v", b.Correct)
+	}
+}
+
+func TestTable3Suite(t *testing.T) {
+	suite := Table3Suite()
+	if len(suite) != 8 {
+		t.Fatalf("suite has %d benchmarks", len(suite))
+	}
+	wantWidths := map[string]int{
+		"bv-4A": 5, "bv-4B": 5, "bv-6": 7, "bv-7": 8,
+		"qaoa-4A": 4, "qaoa-4B": 4, "qaoa-6": 6, "qaoa-7": 7,
+	}
+	for _, b := range suite {
+		if w, ok := wantWidths[b.Name]; !ok || b.Width() != w {
+			t.Errorf("%s width = %d, want %d", b.Name, b.Width(), w)
+		}
+		// Every benchmark's correct answers must dominate on an ideal
+		// machine.
+		ideal := backend.RunIdeal(b.Circuit)
+		if rank := metrics.ROCA(ideal, b.Correct...); rank != 1 {
+			t.Errorf("%s ideal ROCA = %d", b.Name, rank)
+		}
+	}
+}
+
+func TestBVGateCountScalesLinearly(t *testing.T) {
+	// Paper §4.1: BV gate count scales linearly with problem size.
+	count := func(n int) int {
+		key := bitstring.Ones(n)
+		_, _, total := BV("bv", key).Circuit.GateCounts()
+		return total
+	}
+	c4, c8 := count(4), count(8)
+	if c8 >= 3*c4 {
+		t.Errorf("gate count growth looks superlinear: %d → %d", c4, c8)
+	}
+}
+
+func TestGroverFindsMarkedState(t *testing.T) {
+	// Width 2, one iteration: certainty on an ideal machine.
+	for _, marked := range []string{"00", "01", "10", "11"} {
+		b := Grover("grover-2", bs(marked), 1)
+		d := backend.RunIdeal(b.Circuit)
+		if p := d.Prob(bs(marked)); math.Abs(p-1) > 1e-9 {
+			t.Errorf("grover-2 marked %s: P = %v", marked, p)
+		}
+	}
+	// Width 3: one iteration gives exactly 25/32, two give ≈ 0.9453.
+	for _, marked := range []string{"000", "101", "111"} {
+		b1 := Grover("grover-3", bs(marked), 1)
+		if p := backend.RunIdeal(b1.Circuit).Prob(bs(marked)); math.Abs(p-0.78125) > 1e-9 {
+			t.Errorf("grover-3 marked %s, 1 iter: P = %v, want 25/32", marked, p)
+		}
+		b2 := Grover("grover-3", bs(marked), 2)
+		if p := backend.RunIdeal(b2.Circuit).Prob(bs(marked)); math.Abs(p-0.9453125) > 1e-9 {
+			t.Errorf("grover-3 marked %s, 2 iters: P = %v", marked, p)
+		}
+	}
+}
+
+func TestGroverValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { Grover("g", bs("1"), 1) },
+		func() { Grover("g", bs("1111"), 1) },
+		func() { Grover("g", bs("11"), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

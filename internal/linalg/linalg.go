@@ -1,0 +1,151 @@
+// Package linalg provides the small dense linear-algebra kernels needed
+// by confusion-matrix readout mitigation: Gaussian elimination with
+// partial pivoting for solving A·x = b and inverting calibration
+// matrices. Matrices are row-major [][]float64 and sized at most a few
+// hundred (2^n for n ≤ 8 measured qubits).
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Clone returns a deep copy of a matrix.
+func Clone(a [][]float64) [][]float64 {
+	out := make([][]float64, len(a))
+	for i, row := range a {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// MatVec returns A·x.
+func MatVec(a [][]float64, x []float64) ([]float64, error) {
+	out := make([]float64, len(a))
+	for i, row := range a {
+		if len(row) != len(x) {
+			return nil, fmt.Errorf("linalg: row %d has %d columns for vector of %d", i, len(row), len(x))
+		}
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Solve returns x with A·x = b using Gaussian elimination with partial
+// pivoting. A and b are not modified. It fails on non-square or
+// (numerically) singular systems.
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, fmt.Errorf("linalg: empty system")
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: matrix is %d×? but vector has %d entries", n, len(b))
+	}
+	m := Clone(a)
+	x := append([]float64(nil), b...)
+	for i, row := range m {
+		if len(row) != n {
+			return nil, fmt.Errorf("linalg: row %d has %d columns in %d×%d system", i, len(row), n, n)
+		}
+	}
+
+	const tiny = 1e-12
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < tiny {
+			return nil, fmt.Errorf("linalg: singular matrix at column %d", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		x[col], x[pivot] = x[pivot], x[col]
+
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		s := x[col]
+		for c := col + 1; c < n; c++ {
+			s -= m[col][c] * x[c]
+		}
+		x[col] = s / m[col][col]
+	}
+	return x, nil
+}
+
+// Invert returns A⁻¹ by solving against each unit vector.
+func Invert(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	cols := make([][]float64, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col, err := Solve(a, e)
+		if err != nil {
+			return nil, err
+		}
+		e[j] = 0
+		cols[j] = col
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			out[i][j] = cols[j][i]
+		}
+	}
+	return out, nil
+}
+
+// Invert2 inverts a 2×2 matrix in closed form.
+func Invert2(a [2][2]float64) ([2][2]float64, error) {
+	det := a[0][0]*a[1][1] - a[0][1]*a[1][0]
+	if math.Abs(det) < 1e-12 {
+		return [2][2]float64{}, fmt.Errorf("linalg: singular 2×2 matrix")
+	}
+	inv := 1 / det
+	return [2][2]float64{
+		{a[1][1] * inv, -a[0][1] * inv},
+		{-a[1][0] * inv, a[0][0] * inv},
+	}, nil
+}
+
+// ProjectToSimplex clips negative entries to zero and rescales to unit
+// sum — the standard repair after applying an inverse confusion matrix,
+// which can push probabilities slightly outside [0,1]. A zero vector is
+// returned unchanged.
+func ProjectToSimplex(v []float64) []float64 {
+	out := make([]float64, len(v))
+	var sum float64
+	for i, x := range v {
+		if x > 0 {
+			out[i] = x
+			sum += x
+		}
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return out
+}

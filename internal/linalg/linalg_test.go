@@ -1,0 +1,189 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !approx(x[i], want[i]) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := [][]float64{
+		{0, 1},
+		{1, 0},
+	}
+	x, err := Solve(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 7) || !approx(x[1], 3) {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, err := Solve(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := Solve([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := Solve([][]float64{{1, 1}, {1, 1}}, []float64{1, 2}); err == nil {
+		t.Error("singular accepted")
+	}
+	if _, err := Solve([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := [][]float64{{2, 0}, {0, 2}}
+	b := []float64{2, 4}
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0][0] != 2 || a[1][1] != 2 || b[0] != 2 || b[1] != 4 {
+		t.Error("Solve mutated its inputs")
+	}
+}
+
+func TestInvert(t *testing.T) {
+	a := [][]float64{
+		{4, 7},
+		{2, 6},
+	}
+	inv, err := Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A · A⁻¹ = I.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			var s float64
+			for k := 0; k < 2; k++ {
+				s += a[i][k] * inv[k][j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !approx(s, want) {
+				t.Errorf("(A·A⁻¹)[%d][%d] = %v", i, j, s)
+			}
+		}
+	}
+}
+
+func TestInvert2(t *testing.T) {
+	a := [2][2]float64{{0.95, 0.10}, {0.05, 0.90}} // a confusion matrix
+	inv, err := Invert2(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			s := a[i][0]*inv[0][j] + a[i][1]*inv[1][j]
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !approx(s, want) {
+				t.Errorf("product[%d][%d] = %v", i, j, s)
+			}
+		}
+	}
+	if _, err := Invert2([2][2]float64{{1, 1}, {1, 1}}); err == nil {
+		t.Error("singular 2×2 accepted")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := [][]float64{{1, 2}, {3, 4}}
+	got, err := MatVec(a, []float64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got[0], 17) || !approx(got[1], 39) {
+		t.Errorf("MatVec = %v", got)
+	}
+	if _, err := MatVec(a, []float64{1}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestProjectToSimplex(t *testing.T) {
+	got := ProjectToSimplex([]float64{0.5, -0.1, 0.7})
+	if got[1] != 0 {
+		t.Errorf("negative entry survived: %v", got)
+	}
+	var sum float64
+	for _, x := range got {
+		sum += x
+	}
+	if !approx(sum, 1) {
+		t.Errorf("sum = %v", sum)
+	}
+	zero := ProjectToSimplex([]float64{-1, -2})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Errorf("all-negative = %v", zero)
+	}
+}
+
+// Property: Solve(A, A·x) recovers x for random well-conditioned A.
+func TestQuickSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+			}
+			a[i][i] += float64(n) // diagonal dominance → well-conditioned
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b, err := MatVec(a, x)
+		if err != nil {
+			return false
+		}
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(97))}); err != nil {
+		t.Error(err)
+	}
+}

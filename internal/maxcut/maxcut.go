@@ -1,0 +1,142 @@
+// Package maxcut provides the classical side of the paper's QAOA
+// workload: input graphs, cut evaluation, and a brute-force solver that
+// establishes the correct answer against which PST/IST/ROCA are scored.
+//
+// The paper evaluates QAOA max-cut on five 6-node graphs (Graph-A…E,
+// Table 2) whose optimal partitions have increasing Hamming weight, plus
+// the benchmark-suite graphs of Table 3. Each is reconstructed here as a
+// complete bipartite graph across the published optimal partition, which
+// makes that partition (and its complement) the unique maximum cut.
+package maxcut
+
+import (
+	"fmt"
+
+	"biasmit/internal/bitstring"
+)
+
+// Edge is an undirected weighted edge.
+type Edge struct {
+	A, B   int
+	Weight float64
+}
+
+// Graph is an undirected graph on vertices 0..N-1.
+type Graph struct {
+	Name  string
+	N     int
+	Edges []Edge
+}
+
+// Validate checks vertex ranges and weights.
+func (g Graph) Validate() error {
+	if g.N < 2 {
+		return fmt.Errorf("maxcut: graph %s has %d vertices", g.Name, g.N)
+	}
+	if g.N > 30 {
+		return fmt.Errorf("maxcut: graph %s too large for brute force (%d vertices)", g.Name, g.N)
+	}
+	for _, e := range g.Edges {
+		if e.A < 0 || e.A >= g.N || e.B < 0 || e.B >= g.N || e.A == e.B {
+			return fmt.Errorf("maxcut: graph %s has bad edge %d-%d", g.Name, e.A, e.B)
+		}
+		if e.Weight <= 0 {
+			return fmt.Errorf("maxcut: graph %s edge %d-%d has weight %v", g.Name, e.A, e.B, e.Weight)
+		}
+	}
+	return nil
+}
+
+// CutValue returns the total weight of edges crossing the partition:
+// vertex i is on side Bit(i) of the cut.
+func (g Graph) CutValue(partition bitstring.Bits) float64 {
+	if partition.Width() != g.N {
+		panic(fmt.Sprintf("maxcut: partition width %d for %d vertices", partition.Width(), g.N))
+	}
+	var v float64
+	for _, e := range g.Edges {
+		if partition.Bit(e.A) != partition.Bit(e.B) {
+			v += e.Weight
+		}
+	}
+	return v
+}
+
+// Solve brute-forces the maximum cut. It returns the optimal cut value
+// and every optimal partition in ascending numeric order; a partition's
+// complement is always included since both label the same cut. The
+// paper's PST for QAOA counts both strings (§4.2.1).
+func (g Graph) Solve() (best float64, partitions []bitstring.Bits) {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	for _, p := range bitstring.All(g.N) {
+		v := g.CutValue(p)
+		switch {
+		case v > best:
+			best = v
+			partitions = partitions[:0]
+			partitions = append(partitions, p)
+		case v == best:
+			partitions = append(partitions, p)
+		}
+	}
+	return best, partitions
+}
+
+// CompleteBipartite returns the complete bipartite graph whose two sides
+// are given by the partition string: every 0-vertex is connected to every
+// 1-vertex with unit weight. Its unique maximum cut is the partition
+// itself (and complement).
+func CompleteBipartite(name string, partition bitstring.Bits) Graph {
+	g := Graph{Name: name, N: partition.Width()}
+	for a := 0; a < g.N; a++ {
+		for b := a + 1; b < g.N; b++ {
+			if partition.Bit(a) != partition.Bit(b) {
+				g.Edges = append(g.Edges, Edge{A: a, B: b, Weight: 1})
+			}
+		}
+	}
+	return g
+}
+
+// PaperGraph identifies one of the graphs used in the paper.
+type PaperGraph struct {
+	Graph   Graph
+	Optimal bitstring.Bits // the published optimal partition
+}
+
+// Table2Graphs returns the five 6-node graphs of Table 2 (Graph-A…E),
+// whose optimal outputs have Hamming weights 1, 2, 3, 4, 4.
+func Table2Graphs() []PaperGraph {
+	targets := []struct{ name, cut string }{
+		{"Graph-A", "010000"},
+		{"Graph-B", "010100"},
+		{"Graph-C", "101001"},
+		{"Graph-D", "101011"},
+		{"Graph-E", "110110"},
+	}
+	out := make([]PaperGraph, len(targets))
+	for i, t := range targets {
+		p := bitstring.MustParse(t.cut)
+		out[i] = PaperGraph{Graph: CompleteBipartite(t.name, p), Optimal: p}
+	}
+	return out
+}
+
+// Table3Graph returns the max-cut instance behind one of the Table 3
+// QAOA benchmarks (qaoa-4A, qaoa-4B, qaoa-6, qaoa-7).
+func Table3Graph(name string) (PaperGraph, error) {
+	cuts := map[string]string{
+		"qaoa-4A": "0101",
+		"qaoa-4B": "0111",
+		"qaoa-6":  "101011",
+		"qaoa-7":  "1010110",
+	}
+	cut, ok := cuts[name]
+	if !ok {
+		return PaperGraph{}, fmt.Errorf("maxcut: unknown Table 3 benchmark %q", name)
+	}
+	p := bitstring.MustParse(cut)
+	return PaperGraph{Graph: CompleteBipartite(name, p), Optimal: p}, nil
+}

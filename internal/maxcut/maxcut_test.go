@@ -1,0 +1,150 @@
+package maxcut
+
+import (
+	"testing"
+
+	"biasmit/internal/bitstring"
+)
+
+func bs(s string) bitstring.Bits { return bitstring.MustParse(s) }
+
+func TestCutValue(t *testing.T) {
+	// Triangle 0-1-2: any nontrivial partition cuts 2 edges.
+	g := Graph{Name: "triangle", N: 3, Edges: []Edge{
+		{A: 0, B: 1, Weight: 1}, {A: 1, B: 2, Weight: 1}, {A: 0, B: 2, Weight: 1},
+	}}
+	if v := g.CutValue(bs("000")); v != 0 {
+		t.Errorf("trivial cut = %v", v)
+	}
+	if v := g.CutValue(bs("001")); v != 2 {
+		t.Errorf("cut {0} = %v", v)
+	}
+	if v := g.CutValue(bs("011")); v != 2 {
+		t.Errorf("cut {0,1} = %v", v)
+	}
+}
+
+func TestCutValueWeighted(t *testing.T) {
+	g := Graph{Name: "w", N: 2, Edges: []Edge{{A: 0, B: 1, Weight: 2.5}}}
+	if v := g.CutValue(bs("01")); v != 2.5 {
+		t.Errorf("weighted cut = %v", v)
+	}
+}
+
+func TestSolveTriangle(t *testing.T) {
+	g := Graph{Name: "triangle", N: 3, Edges: []Edge{
+		{A: 0, B: 1, Weight: 1}, {A: 1, B: 2, Weight: 1}, {A: 0, B: 2, Weight: 1},
+	}}
+	best, parts := g.Solve()
+	if best != 2 {
+		t.Errorf("best = %v", best)
+	}
+	if len(parts) != 6 { // all 6 nontrivial partitions tie
+		t.Errorf("found %d optimal partitions", len(parts))
+	}
+}
+
+func TestCompleteBipartiteUniqueOptimum(t *testing.T) {
+	p := bs("101011")
+	g := CompleteBipartite("d", p)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	best, parts := g.Solve()
+	want := float64(p.HammingWeight() * (p.Width() - p.HammingWeight()))
+	if best != want {
+		t.Errorf("best = %v, want %v", best, want)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("optimal partitions = %v, want the cut and its complement", parts)
+	}
+	if parts[0] != p.Invert() && parts[1] != p.Invert() {
+		t.Errorf("complement missing from %v", parts)
+	}
+	if parts[0] != p && parts[1] != p {
+		t.Errorf("target cut missing from %v", parts)
+	}
+}
+
+func TestTable2Graphs(t *testing.T) {
+	graphs := Table2Graphs()
+	if len(graphs) != 5 {
+		t.Fatalf("got %d graphs", len(graphs))
+	}
+	wantWeights := []int{1, 2, 3, 4, 4} // paper Table 2 ordering
+	for i, pg := range graphs {
+		if err := pg.Graph.Validate(); err != nil {
+			t.Errorf("%s: %v", pg.Graph.Name, err)
+		}
+		if pg.Graph.N != 6 {
+			t.Errorf("%s has %d nodes", pg.Graph.Name, pg.Graph.N)
+		}
+		if w := pg.Optimal.HammingWeight(); w != wantWeights[i] {
+			t.Errorf("%s optimum weight = %d, want %d", pg.Graph.Name, w, wantWeights[i])
+		}
+		_, parts := pg.Graph.Solve()
+		found := false
+		for _, p := range parts {
+			if p == pg.Optimal {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: published optimum %v not optimal (got %v)", pg.Graph.Name, pg.Optimal, parts)
+		}
+		if len(parts) != 2 {
+			t.Errorf("%s: optimum not unique: %v", pg.Graph.Name, parts)
+		}
+	}
+}
+
+func TestTable3Graph(t *testing.T) {
+	for name, width := range map[string]int{"qaoa-4A": 4, "qaoa-4B": 4, "qaoa-6": 6, "qaoa-7": 7} {
+		pg, err := Table3Graph(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if pg.Graph.N != width {
+			t.Errorf("%s: %d nodes, want %d", name, pg.Graph.N, width)
+		}
+		_, parts := pg.Graph.Solve()
+		found := false
+		for _, p := range parts {
+			if p == pg.Optimal {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: optimum mismatch", name)
+		}
+	}
+	if _, err := Table3Graph("qaoa-99"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []Graph{
+		{Name: "tiny", N: 1},
+		{Name: "self", N: 3, Edges: []Edge{{A: 1, B: 1, Weight: 1}}},
+		{Name: "range", N: 3, Edges: []Edge{{A: 0, B: 5, Weight: 1}}},
+		{Name: "zeroW", N: 3, Edges: []Edge{{A: 0, B: 1, Weight: 0}}},
+		{Name: "huge", N: 31},
+	}
+	for _, g := range cases {
+		if g.Validate() == nil {
+			t.Errorf("graph %s accepted", g.Name)
+		}
+	}
+}
+
+func TestCutValueComplementInvariance(t *testing.T) {
+	// A cut and its complement have identical value — why the paper's
+	// QAOA PST counts both strings.
+	g := CompleteBipartite("inv", bs("0111"))
+	for _, p := range bitstring.All(4) {
+		if g.CutValue(p) != g.CutValue(p.Invert()) {
+			t.Errorf("cut(%v) != cut(complement)", p)
+		}
+	}
+}

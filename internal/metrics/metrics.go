@@ -1,0 +1,261 @@
+// Package metrics implements the reliability figures of merit the paper
+// uses to evaluate NISQ executions (§4.2):
+//
+//   - PST, Probability of a Successful Trial — the fraction of trials
+//     that produced the error-free answer;
+//   - IST, Inference Strength — the ratio of the correct answer's
+//     frequency to the strongest incorrect answer's frequency (IST > 1
+//     means the correct answer can be inferred by majority);
+//   - ROCA, Rank of Correct Answer — the position of the correct answer
+//     in the frequency-sorted output log.
+//
+// It also provides the statistical helpers used by the characterization
+// sections: Pearson correlation (the paper reports r = −0.93 between BMS
+// and Hamming weight on ibmqx2) and mean-squared error (ESCT validation).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"biasmit/internal/bitstring"
+	"biasmit/internal/dist"
+)
+
+// PST returns the probability of a successful trial for a single correct
+// answer.
+func PST(d dist.Dist, correct bitstring.Bits) float64 {
+	return d.Prob(correct)
+}
+
+// PSTEquiv returns the PST when several outcomes are all correct. QAOA
+// max-cut has two: the optimal partition and its complement label the
+// same cut, so the paper sums both frequencies (§4.2.1).
+func PSTEquiv(d dist.Dist, correct ...bitstring.Bits) float64 {
+	seen := make(map[bitstring.Bits]bool, len(correct))
+	var p float64
+	for _, c := range correct {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		p += d.Prob(c)
+	}
+	return p
+}
+
+// IST returns the inference strength: P(correct)/P(strongest incorrect).
+// The correct set may contain several equivalent answers (QAOA cut and
+// complement); their mass is pooled and every one of them is excluded
+// from the "incorrect" side. If no incorrect outcome was observed the
+// correct answer is unmaskable and IST is +Inf; if the correct answer
+// never appeared IST is 0.
+func IST(d dist.Dist, correct ...bitstring.Bits) float64 {
+	isCorrect := make(map[bitstring.Bits]bool, len(correct))
+	for _, c := range correct {
+		isCorrect[c] = true
+	}
+	var pCorrect, pWorst float64
+	for b, p := range d.P {
+		if isCorrect[b] {
+			pCorrect += p
+		} else if p > pWorst {
+			pWorst = p
+		}
+	}
+	if pWorst == 0 {
+		if pCorrect == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return pCorrect / pWorst
+}
+
+// ROCA returns the 1-based rank of the correct answer in the output log
+// sorted by descending frequency. With several equivalent correct
+// answers the best (lowest) rank among them is returned.
+func ROCA(d dist.Dist, correct ...bitstring.Bits) int {
+	if len(correct) == 0 {
+		panic("metrics: ROCA with no correct answers")
+	}
+	best := math.MaxInt
+	for _, c := range correct {
+		if r := d.Rank(c); r < best {
+			best = r
+		}
+	}
+	return best
+}
+
+// Pearson returns the Pearson correlation coefficient between x and y.
+// It returns an error when the lengths differ, fewer than two points are
+// given, or either series is constant (undefined correlation).
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("metrics: series lengths %d and %d differ", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("metrics: need at least 2 points, got %d", len(x))
+	}
+	n := float64(len(x))
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("metrics: constant series has undefined correlation")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman returns the Spearman rank correlation between x and y: the
+// Pearson correlation of their rank series. It measures whether two
+// measurement-strength profiles order the basis states the same way,
+// which is the paper's §6.1 repeatability criterion across calibration
+// cycles.
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("metrics: series lengths %d and %d differ", len(x), len(y))
+	}
+	return Pearson(ranks(x), ranks(y))
+}
+
+// ranks converts values to fractional ranks (ties averaged).
+func ranks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	out := make([]float64, len(v))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// MSE returns the mean squared error between two equal-length series.
+func MSE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: series lengths %d and %d differ", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, fmt.Errorf("metrics: empty series")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a)), nil
+}
+
+// BootstrapCI estimates a confidence interval for any statistic of an
+// output log by resampling the histogram with replacement. PST has a
+// closed-form interval (dist.Counts.WilsonInterval), but IST and ROCA do
+// not — their sampling distributions depend on the gap between the
+// correct answer and its strongest competitor — so experiments report
+// them with bootstrap intervals.
+//
+// iters resamples are drawn (a few hundred suffice); confidence is the
+// two-sided level, e.g. 0.95. The returned interval is the empirical
+// percentile range of the statistic across resamples.
+func BootstrapCI(counts *dist.Counts, stat func(dist.Dist) float64, iters int, confidence float64, seed int64) (lo, hi float64, err error) {
+	if counts.Total() == 0 {
+		return 0, 0, fmt.Errorf("metrics: bootstrap on an empty histogram")
+	}
+	if iters < 10 {
+		return 0, 0, fmt.Errorf("metrics: need at least 10 bootstrap iterations, got %d", iters)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, fmt.Errorf("metrics: confidence %v out of (0,1)", confidence)
+	}
+	sampler := dist.NewSampler(counts.Dist())
+	rng := rand.New(rand.NewSource(seed))
+	values := make([]float64, iters)
+	for i := range values {
+		resampled := sampler.SampleCounts(rng, counts.Total())
+		values[i] = stat(resampled.Dist())
+	}
+	sort.Float64s(values)
+	alpha := (1 - confidence) / 2
+	loIdx := int(alpha * float64(iters))
+	hiIdx := int((1 - alpha) * float64(iters))
+	if hiIdx >= iters {
+		hiIdx = iters - 1
+	}
+	return values[loIdx], values[hiIdx], nil
+}
+
+// Relative rescales a series by its maximum, producing the "relative"
+// measurement-strength curves of Figs 4, 5, 11 and 15 (strongest state
+// normalized to 1). A zero or empty series is returned unchanged.
+func Relative(v []float64) []float64 {
+	max := 0.0
+	for _, x := range v {
+		if x > max {
+			max = x
+		}
+	}
+	out := make([]float64, len(v))
+	if max == 0 {
+		copy(out, v)
+		return out
+	}
+	for i, x := range v {
+		out[i] = x / max
+	}
+	return out
+}
+
+// AverageByHammingWeight groups a per-basis-state series (indexed by
+// packed basis value) by Hamming weight and averages each group — the
+// aggregation used in Fig 5. The returned slice has width+1 entries.
+func AverageByHammingWeight(v []float64, width int) []float64 {
+	if len(v) != 1<<uint(width) {
+		panic(fmt.Sprintf("metrics: series length %d does not match width %d", len(v), width))
+	}
+	sums := make([]float64, width+1)
+	counts := make([]int, width+1)
+	for i, x := range v {
+		w := bitstring.New(uint64(i), width).HammingWeight()
+		sums[w] += x
+		counts[w]++
+	}
+	for w := range sums {
+		sums[w] /= float64(counts[w])
+	}
+	return sums
+}
+
+// HammingWeightSeries returns, for each packed basis value of the given
+// width, its Hamming weight as a float — the x variable in the paper's
+// BMS-vs-weight correlations.
+func HammingWeightSeries(width int) []float64 {
+	out := make([]float64, 1<<uint(width))
+	for i := range out {
+		out[i] = float64(bitstring.New(uint64(i), width).HammingWeight())
+	}
+	return out
+}

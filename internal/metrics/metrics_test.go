@@ -1,0 +1,290 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"biasmit/internal/bitstring"
+	"biasmit/internal/dist"
+)
+
+func bs(s string) bitstring.Bits { return bitstring.MustParse(s) }
+
+func sampleDist() dist.Dist {
+	return dist.Dist{Width: 3, P: map[bitstring.Bits]float64{
+		bs("101"): 0.35, bs("001"): 0.45, bs("100"): 0.15, bs("000"): 0.05,
+	}}
+}
+
+func TestPST(t *testing.T) {
+	d := sampleDist()
+	if got := PST(d, bs("101")); math.Abs(got-0.35) > 1e-12 {
+		t.Errorf("PST = %v", got)
+	}
+	if got := PST(d, bs("111")); got != 0 {
+		t.Errorf("PST of unseen = %v", got)
+	}
+}
+
+func TestPSTEquiv(t *testing.T) {
+	d := sampleDist()
+	// QAOA counts a cut and its complement: 101 and 010.
+	if got := PSTEquiv(d, bs("101"), bs("010")); math.Abs(got-0.35) > 1e-12 {
+		t.Errorf("PSTEquiv = %v", got)
+	}
+	d.P[bs("010")] = 0.10
+	if got := PSTEquiv(d, bs("101"), bs("010")); math.Abs(got-0.45) > 1e-12 {
+		t.Errorf("PSTEquiv with both = %v", got)
+	}
+	// Duplicate equivalents must not double-count.
+	if got := PSTEquiv(d, bs("101"), bs("101")); math.Abs(got-0.35) > 1e-12 {
+		t.Errorf("PSTEquiv duplicate = %v", got)
+	}
+}
+
+func TestIST(t *testing.T) {
+	d := sampleDist()
+	// Correct 101 (0.35); strongest incorrect 001 (0.45) → IST < 1: the
+	// paper's Fig 7(A) scenario where the wrong answer dominates.
+	if got := IST(d, bs("101")); math.Abs(got-0.35/0.45) > 1e-12 {
+		t.Errorf("IST = %v", got)
+	}
+	// Correct 001 → strongest incorrect 101 → IST > 1.
+	if got := IST(d, bs("001")); math.Abs(got-0.45/0.35) > 1e-12 {
+		t.Errorf("IST = %v", got)
+	}
+}
+
+func TestISTEdgeCases(t *testing.T) {
+	only := dist.Dist{Width: 2, P: map[bitstring.Bits]float64{bs("01"): 1}}
+	if got := IST(only, bs("01")); !math.IsInf(got, 1) {
+		t.Errorf("IST with no incorrect = %v, want +Inf", got)
+	}
+	if got := IST(only, bs("10")); got != 0 {
+		t.Errorf("IST with no correct = %v, want 0", got)
+	}
+	if got := IST(dist.NewDist(2), bs("10")); got != 0 {
+		t.Errorf("IST on empty dist = %v, want 0", got)
+	}
+}
+
+func TestISTPoolsEquivalents(t *testing.T) {
+	d := dist.Dist{Width: 2, P: map[bitstring.Bits]float64{
+		bs("01"): 0.3, bs("10"): 0.3, bs("00"): 0.4,
+	}}
+	if got := IST(d, bs("01"), bs("10")); math.Abs(got-0.6/0.4) > 1e-12 {
+		t.Errorf("pooled IST = %v", got)
+	}
+}
+
+func TestROCA(t *testing.T) {
+	d := sampleDist()
+	if got := ROCA(d, bs("001")); got != 1 {
+		t.Errorf("ROCA best = %d", got)
+	}
+	if got := ROCA(d, bs("101")); got != 2 {
+		t.Errorf("ROCA second = %d", got)
+	}
+	if got := ROCA(d, bs("000")); got != 4 {
+		t.Errorf("ROCA last = %d", got)
+	}
+	// Equivalent answers: best rank wins.
+	if got := ROCA(d, bs("000"), bs("001")); got != 1 {
+		t.Errorf("ROCA equivalents = %d", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	yPos := []float64{1, 3, 5, 7, 9}
+	if r, err := Pearson(x, yPos); err != nil || math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect positive: r=%v err=%v", r, err)
+	}
+	yNeg := []float64{9, 7, 5, 3, 1}
+	if r, err := Pearson(x, yNeg); err != nil || math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect negative: r=%v err=%v", r, err)
+	}
+	if _, err := Pearson(x, yPos[:3]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Pearson(x, []float64{2, 2, 2, 2, 2}); err == nil {
+		t.Error("constant series accepted")
+	}
+}
+
+func TestMSE(t *testing.T) {
+	got, err := MSE([]float64{1, 2, 3}, []float64{1, 2, 5})
+	if err != nil || math.Abs(got-4.0/3) > 1e-12 {
+		t.Errorf("MSE = %v err=%v", got, err)
+	}
+	if _, err := MSE([]float64{1}, []float64{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MSE(nil, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestRelative(t *testing.T) {
+	got := Relative([]float64{0.5, 1.0, 0.25})
+	want := []float64{0.5, 1.0, 0.25}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Relative[%d] = %v", i, got[i])
+		}
+	}
+	got2 := Relative([]float64{0.2, 0.4})
+	if math.Abs(got2[1]-1) > 1e-12 || math.Abs(got2[0]-0.5) > 1e-12 {
+		t.Errorf("Relative rescale = %v", got2)
+	}
+	zero := Relative([]float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Errorf("Relative of zeros = %v", zero)
+	}
+}
+
+func TestAverageByHammingWeight(t *testing.T) {
+	// Width 2: states 00,01,10,11 with values 1.0, 0.8, 0.6, 0.2.
+	got := AverageByHammingWeight([]float64{1.0, 0.8, 0.6, 0.2}, 2)
+	want := []float64{1.0, 0.7, 0.2}
+	for w := range want {
+		if math.Abs(got[w]-want[w]) > 1e-12 {
+			t.Errorf("avg[weight %d] = %v, want %v", w, got[w], want[w])
+		}
+	}
+}
+
+func TestHammingWeightSeries(t *testing.T) {
+	got := HammingWeightSeries(3)
+	want := []float64{0, 1, 1, 2, 1, 2, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("weight[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBiasedBMSCorrelatesNegatively(t *testing.T) {
+	// A synthetic asymmetric readout gives the paper's strong negative
+	// correlation between BMS and Hamming weight.
+	const n = 5
+	bms := make([]float64, 1<<n)
+	for i := range bms {
+		w := bitstring.New(uint64(i), n).HammingWeight()
+		bms[i] = math.Pow(0.98, float64(n-w)) * math.Pow(0.88, float64(w))
+	}
+	r, err := Pearson(HammingWeightSeries(n), bms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > -0.9 {
+		t.Errorf("correlation = %v, want strongly negative", r)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone but nonlinear relation: Spearman 1, Pearson < 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	rho, err := Spearman(x, y)
+	if err != nil || math.Abs(rho-1) > 1e-12 {
+		t.Errorf("Spearman = %v, err=%v", rho, err)
+	}
+	rev := []float64{125, 64, 27, 8, 1}
+	rho, err = Spearman(x, rev)
+	if err != nil || math.Abs(rho+1) > 1e-12 {
+		t.Errorf("reversed Spearman = %v, err=%v", rho, err)
+	}
+	if _, err := Spearman(x, y[:3]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSpearmanHandlesTies(t *testing.T) {
+	x := []float64{1, 2, 2, 3}
+	y := []float64{10, 20, 20, 30}
+	rho, err := Spearman(x, y)
+	if err != nil || math.Abs(rho-1) > 1e-12 {
+		t.Errorf("tied Spearman = %v, err=%v", rho, err)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := ranks([]float64{30, 10, 20, 10})
+	want := []float64{4, 1.5, 3, 1.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBootstrapCIBracketsTruth(t *testing.T) {
+	// 60/40 histogram: the IST of the majority outcome is 1.5; a 95%
+	// bootstrap interval from 10k trials should bracket it tightly.
+	c := dist.NewCounts(1)
+	c.Add(bs("0"), 6000)
+	c.Add(bs("1"), 4000)
+	stat := func(d dist.Dist) float64 { return IST(d, bs("0")) }
+	lo, hi, err := BootstrapCI(c, stat, 300, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < 1.5 && 1.5 < hi) {
+		t.Errorf("interval [%v,%v] does not bracket 1.5", lo, hi)
+	}
+	if hi-lo > 0.3 {
+		t.Errorf("interval too wide at n=10000: [%v,%v]", lo, hi)
+	}
+}
+
+func TestBootstrapCIShrinksWithSamples(t *testing.T) {
+	small := dist.NewCounts(1)
+	small.Add(bs("0"), 60)
+	small.Add(bs("1"), 40)
+	big := dist.NewCounts(1)
+	big.Add(bs("0"), 60000)
+	big.Add(bs("1"), 40000)
+	stat := func(d dist.Dist) float64 { return PST(d, bs("0")) }
+	lo1, hi1, err := BootstrapCI(small, stat, 300, 0.95, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2, err := BootstrapCI(big, stat, 300, 0.95, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi2-lo2 >= hi1-lo1 {
+		t.Errorf("interval did not shrink: [%v,%v] vs [%v,%v]", lo2, hi2, lo1, hi1)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	c := dist.NewCounts(1)
+	c.Add(bs("0"), 70)
+	c.Add(bs("1"), 30)
+	stat := func(d dist.Dist) float64 { return PST(d, bs("0")) }
+	lo1, hi1, _ := BootstrapCI(c, stat, 100, 0.9, 7)
+	lo2, hi2, _ := BootstrapCI(c, stat, 100, 0.9, 7)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Error("same seed produced different intervals")
+	}
+}
+
+func TestBootstrapCIValidation(t *testing.T) {
+	c := dist.NewCounts(1)
+	stat := func(d dist.Dist) float64 { return 0 }
+	if _, _, err := BootstrapCI(c, stat, 100, 0.95, 1); err == nil {
+		t.Error("empty histogram accepted")
+	}
+	c.Add(bs("0"), 5)
+	if _, _, err := BootstrapCI(c, stat, 5, 0.95, 1); err == nil {
+		t.Error("too few iterations accepted")
+	}
+	if _, _, err := BootstrapCI(c, stat, 100, 1.5, 1); err == nil {
+		t.Error("bad confidence accepted")
+	}
+}

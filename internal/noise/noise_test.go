@@ -1,0 +1,260 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"biasmit/internal/bitstring"
+	"biasmit/internal/quantum"
+)
+
+func bs(s string) bitstring.Bits { return bitstring.MustParse(s) }
+
+func uniformModel(n int, p01, p10 float64) *ReadoutModel {
+	per := make([]ReadoutError, n)
+	for i := range per {
+		per[i] = ReadoutError{P01: p01, P10: p10}
+	}
+	return &ReadoutModel{PerQubit: per}
+}
+
+func TestReadoutErrorAverage(t *testing.T) {
+	r := ReadoutError{P01: 0.02, P10: 0.10}
+	if got := r.Average(); math.Abs(got-0.06) > 1e-12 {
+		t.Errorf("Average = %v", got)
+	}
+}
+
+func TestReadoutErrorValidate(t *testing.T) {
+	if err := (ReadoutError{P01: 0.1, P10: 0.2}).Validate(); err != nil {
+		t.Errorf("valid error rejected: %v", err)
+	}
+	for _, r := range []ReadoutError{{P01: -0.1}, {P10: 1.5}} {
+		if r.Validate() == nil {
+			t.Errorf("invalid %+v accepted", r)
+		}
+	}
+}
+
+func TestWithT1Decay(t *testing.T) {
+	r := ReadoutError{P01: 0, P10: 0}
+	d := r.WithT1Decay(60, 60) // one T1 of readout duration
+	want := 1 - math.Exp(-1)
+	if math.Abs(d.P10-want) > 1e-12 {
+		t.Errorf("P10 after decay = %v, want %v", d.P10, want)
+	}
+	if d.P01 != 0 {
+		t.Errorf("P01 changed: %v", d.P01)
+	}
+	// Zero duration or T1 is a no-op.
+	if r.WithT1Decay(0, 60) != r || r.WithT1Decay(60, 0) != r {
+		t.Error("no-op cases modified the error")
+	}
+}
+
+func TestWithT1DecayComposesWithDiscriminator(t *testing.T) {
+	// With P01 > 0, a decayed qubit can be misread back as 1.
+	r := ReadoutError{P01: 0.5, P10: 0}
+	d := r.WithT1Decay(1e12, 60) // certain decay
+	if math.Abs(d.P10-0.5) > 1e-9 {
+		t.Errorf("P10 = %v, want 0.5 (decayed then misread back)", d.P10)
+	}
+}
+
+func TestSuccessProbMonotoneInHammingWeight(t *testing.T) {
+	// With uniform P10 > P01, BMS must strictly decrease with Hamming
+	// weight — the paper's central characterization result (Fig 4).
+	m := uniformModel(5, 0.02, 0.12)
+	byWeight := make([]float64, 6)
+	for _, b := range bitstring.All(5) {
+		byWeight[b.HammingWeight()] = m.SuccessProb(b)
+	}
+	for w := 1; w < 6; w++ {
+		if byWeight[w] >= byWeight[w-1] {
+			t.Errorf("BMS(weight %d)=%v >= BMS(weight %d)=%v", w, byWeight[w], w-1, byWeight[w-1])
+		}
+	}
+	// Exact values: (1-p01)^(5-w) (1-p10)^w.
+	want := math.Pow(0.98, 5)
+	if got := m.SuccessProb(bs("00000")); math.Abs(got-want) > 1e-12 {
+		t.Errorf("BMS(00000) = %v, want %v", got, want)
+	}
+	want = math.Pow(0.88, 5)
+	if got := m.SuccessProb(bs("11111")); math.Abs(got-want) > 1e-12 {
+		t.Errorf("BMS(11111) = %v, want %v", got, want)
+	}
+}
+
+func TestTransitionProbRowsSumToOne(t *testing.T) {
+	m := uniformModel(4, 0.03, 0.09)
+	m.Correlations = []CorrelatedFlip{{Trigger: 0, TriggerState: true, Target: 1, PExtra: 0.2}}
+	for _, x := range bitstring.All(4) {
+		var sum float64
+		for _, y := range bitstring.All(4) {
+			sum += m.TransitionProb(x, y)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("row %v sums to %v", x, sum)
+		}
+	}
+}
+
+func TestApplyMatchesTransitionProb(t *testing.T) {
+	m := uniformModel(3, 0.05, 0.15)
+	m.Correlations = []CorrelatedFlip{{Trigger: 2, TriggerState: true, Target: 0, PExtra: 0.3}}
+	rng := rand.New(rand.NewSource(61))
+	x := bs("101")
+	const trials = 200000
+	counts := make(map[bitstring.Bits]int)
+	for i := 0; i < trials; i++ {
+		counts[m.Apply(x, rng)]++
+	}
+	for _, y := range bitstring.All(3) {
+		want := m.TransitionProb(x, y)
+		got := float64(counts[y]) / trials
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("P(%v|%v): sampled %v, exact %v", y, x, got, want)
+		}
+	}
+}
+
+func TestCorrelatedFlipBreaksMonotonicity(t *testing.T) {
+	// A strong enough crosstalk term makes a low-weight state weaker than
+	// a higher-weight one — the ibmqx4 "arbitrary bias" mechanism.
+	m := uniformModel(3, 0.01, 0.05)
+	m.Correlations = []CorrelatedFlip{{Trigger: 0, TriggerState: true, Target: 1, PExtra: 0.5}}
+	weak := m.SuccessProb(bs("001"))   // weight 1, but triggers crosstalk
+	strong := m.SuccessProb(bs("110")) // weight 2, no trigger
+	if weak >= strong {
+		t.Errorf("crosstalk did not break monotonicity: BMS(001)=%v BMS(110)=%v", weak, strong)
+	}
+}
+
+func TestExactBMS(t *testing.T) {
+	m := uniformModel(3, 0.02, 0.1)
+	bms := m.ExactBMS()
+	if len(bms) != 8 {
+		t.Fatalf("len = %d", len(bms))
+	}
+	for _, b := range bitstring.All(3) {
+		if math.Abs(bms[b.Uint64()]-m.SuccessProb(b)) > 1e-12 {
+			t.Errorf("ExactBMS mismatch at %v", b)
+		}
+	}
+}
+
+func TestValidateModel(t *testing.T) {
+	m := uniformModel(3, 0.02, 0.1)
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	m.Correlations = []CorrelatedFlip{{Trigger: 0, Target: 0, PExtra: 0.1}}
+	if m.Validate() == nil {
+		t.Error("trigger==target accepted")
+	}
+	m.Correlations = []CorrelatedFlip{{Trigger: 0, Target: 5, PExtra: 0.1}}
+	if m.Validate() == nil {
+		t.Error("out-of-range target accepted")
+	}
+	m.Correlations = nil
+	m.PerQubit[1].P10 = 2
+	if m.Validate() == nil {
+		t.Error("bad probability accepted")
+	}
+}
+
+func TestSamplePauli1Distribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	const p = 0.3
+	const trials = 100000
+	counts := make(map[quantum.Pauli]int)
+	for i := 0; i < trials; i++ {
+		counts[SamplePauli1(p, rng)]++
+	}
+	if got := float64(counts[quantum.PauliI]) / trials; math.Abs(got-0.7) > 0.01 {
+		t.Errorf("P(I) = %v, want 0.7", got)
+	}
+	for _, pl := range []quantum.Pauli{quantum.PauliX, quantum.PauliY, quantum.PauliZ} {
+		if got := float64(counts[pl]) / trials; math.Abs(got-0.1) > 0.01 {
+			t.Errorf("P(%v) = %v, want 0.1", pl, got)
+		}
+	}
+	if SamplePauli1(0, rng) != quantum.PauliI {
+		t.Error("p=0 produced an error")
+	}
+}
+
+func TestSamplePauli2Distribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const p = 0.5
+	const trials = 150000
+	var identity, errs int
+	pairCounts := make(map[[2]quantum.Pauli]int)
+	for i := 0; i < trials; i++ {
+		a, b := SamplePauli2(p, rng)
+		if a == quantum.PauliI && b == quantum.PauliI {
+			identity++
+		} else {
+			errs++
+			pairCounts[[2]quantum.Pauli{a, b}]++
+		}
+	}
+	if got := float64(identity) / trials; math.Abs(got-0.5) > 0.01 {
+		t.Errorf("P(I,I) = %v", got)
+	}
+	if len(pairCounts) != 15 {
+		t.Errorf("saw %d distinct error pairs, want 15", len(pairCounts))
+	}
+	for pair, n := range pairCounts {
+		got := float64(n) / float64(errs)
+		if math.Abs(got-1.0/15) > 0.01 {
+			t.Errorf("P(%v|err) = %v, want 1/15", pair, got)
+		}
+	}
+}
+
+func TestDecayProb(t *testing.T) {
+	if got := DecayProb(60, 60); math.Abs(got-(1-math.Exp(-1))) > 1e-12 {
+		t.Errorf("DecayProb = %v", got)
+	}
+	if DecayProb(0, 60) != 0 || DecayProb(60, 0) != 0 {
+		t.Error("degenerate cases not zero")
+	}
+}
+
+// Property: SuccessProb equals TransitionProb(x,x) for all states and
+// models, with and without correlations.
+func TestQuickSuccessIsDiagonal(t *testing.T) {
+	f := func(xraw uint8, p01c, p10c uint8, hasCorr bool) bool {
+		const n = 5
+		m := uniformModel(n, float64(p01c%50)/500, float64(p10c%50)/250)
+		if hasCorr {
+			m.Correlations = []CorrelatedFlip{{Trigger: 1, TriggerState: true, Target: 3, PExtra: 0.25}}
+		}
+		x := bitstring.New(uint64(xraw), n)
+		return math.Abs(m.SuccessProb(x)-m.TransitionProb(x, x)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(73))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with asymmetric error (P10 > P01) and no correlations,
+// inverting a majority-ones state always yields a strictly stronger
+// state — the physical justification for Invert-and-Measure.
+func TestQuickInversionStrengthens(t *testing.T) {
+	f := func(xraw uint8) bool {
+		const n = 5
+		m := uniformModel(n, 0.02, 0.12)
+		x := bitstring.New(uint64(xraw), n)
+		if x.HammingWeight() <= n/2 {
+			return true // only majority-ones states are guaranteed to gain
+		}
+		return m.SuccessProb(x.Invert()) > m.SuccessProb(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(79))}); err != nil {
+		t.Error(err)
+	}
+}

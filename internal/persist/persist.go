@@ -1,0 +1,158 @@
+// Package persist serializes the artifacts a long-running mitigation
+// workflow wants to keep between sessions: device calibrations, learned
+// RBMS profiles, and confusion-matrix calibrations. Everything is
+// versioned JSON inside a small typed envelope, so a file's kind is
+// checked before decoding and future format changes stay detectable.
+//
+// AIM's machine profile is explicitly designed to be reusable — the
+// paper validates that the bias ordering is stable across calibration
+// cycles (§6.1) — so saving an RBMS learned today and loading it for
+// tomorrow's runs is the intended workflow.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"biasmit/internal/core"
+	"biasmit/internal/correct"
+	"biasmit/internal/device"
+)
+
+// Envelope wraps every persisted artifact with its kind and version.
+type Envelope struct {
+	Kind    string          `json:"kind"`
+	Version int             `json:"version"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Artifact kinds.
+const (
+	KindDevice   = "biasmit/device"
+	KindRBMS     = "biasmit/rbms"
+	KindTensored = "biasmit/tensored-calibration"
+)
+
+const currentVersion = 1
+
+func save(w io.Writer, kind string, payload interface{}) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("persist: encoding %s payload: %w", kind, err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(Envelope{Kind: kind, Version: currentVersion, Payload: raw}); err != nil {
+		return fmt.Errorf("persist: writing %s: %w", kind, err)
+	}
+	return nil
+}
+
+func load(r io.Reader, kind string, payload interface{}) error {
+	var env Envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return fmt.Errorf("persist: reading envelope: %w", err)
+	}
+	if env.Kind != kind {
+		return fmt.Errorf("persist: file holds %q, expected %q", env.Kind, kind)
+	}
+	if env.Version != currentVersion {
+		return fmt.Errorf("persist: %s version %d not supported (current %d)", kind, env.Version, currentVersion)
+	}
+	if err := json.Unmarshal(env.Payload, payload); err != nil {
+		return fmt.Errorf("persist: decoding %s payload: %w", kind, err)
+	}
+	return nil
+}
+
+// SaveDevice writes a device model (all calibration data included).
+func SaveDevice(w io.Writer, d *device.Device) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("persist: refusing to save invalid device: %w", err)
+	}
+	return save(w, KindDevice, d)
+}
+
+// LoadDevice reads and validates a device model.
+func LoadDevice(r io.Reader) (*device.Device, error) {
+	var d device.Device
+	if err := load(r, KindDevice, &d); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: loaded device is invalid: %w", err)
+	}
+	return &d, nil
+}
+
+// rbmsPayload is the on-disk form of a measurement-strength profile,
+// annotated with where it came from.
+type rbmsPayload struct {
+	Machine  string    `json:"machine,omitempty"`
+	Layout   []int     `json:"layout,omitempty"`
+	Method   string    `json:"method,omitempty"`
+	Width    int       `json:"width"`
+	Strength []float64 `json:"strength"`
+}
+
+// RBMSMeta annotates a saved profile with its provenance.
+type RBMSMeta struct {
+	Machine string
+	Layout  []int
+	Method  string // "brute", "esct", "awct", …
+}
+
+// SaveRBMS writes a learned measurement-strength profile.
+func SaveRBMS(w io.Writer, r core.RBMS, meta RBMSMeta) error {
+	return save(w, KindRBMS, rbmsPayload{
+		Machine:  meta.Machine,
+		Layout:   meta.Layout,
+		Method:   meta.Method,
+		Width:    r.Width,
+		Strength: r.Strength,
+	})
+}
+
+// LoadRBMS reads a profile and its provenance.
+func LoadRBMS(r io.Reader) (core.RBMS, RBMSMeta, error) {
+	var p rbmsPayload
+	if err := load(r, KindRBMS, &p); err != nil {
+		return core.RBMS{}, RBMSMeta{}, err
+	}
+	rbms, err := core.NewRBMS(p.Width, p.Strength)
+	if err != nil {
+		return core.RBMS{}, RBMSMeta{}, fmt.Errorf("persist: loaded profile is invalid: %w", err)
+	}
+	return rbms, RBMSMeta{Machine: p.Machine, Layout: p.Layout, Method: p.Method}, nil
+}
+
+// tensoredPayload is the on-disk form of a per-qubit confusion-matrix
+// calibration.
+type tensoredPayload struct {
+	Machine  string          `json:"machine,omitempty"`
+	Layout   []int           `json:"layout,omitempty"`
+	Matrices [][2][2]float64 `json:"matrices"`
+}
+
+// SaveTensored writes a tensored confusion-matrix calibration.
+func SaveTensored(w io.Writer, t *correct.Tensored, machine string, layout []int) error {
+	return save(w, KindTensored, tensoredPayload{
+		Machine:  machine,
+		Layout:   layout,
+		Matrices: t.Matrices,
+	})
+}
+
+// LoadTensored reads a calibration, recomputing the inverse matrices.
+func LoadTensored(r io.Reader) (*correct.Tensored, string, []int, error) {
+	var p tensoredPayload
+	if err := load(r, KindTensored, &p); err != nil {
+		return nil, "", nil, err
+	}
+	t, err := correct.NewTensored(p.Matrices)
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("persist: loaded calibration is invalid: %w", err)
+	}
+	return t, p.Machine, p.Layout, nil
+}

@@ -1,0 +1,202 @@
+package persist
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"biasmit/internal/backend"
+	"biasmit/internal/bitstring"
+	"biasmit/internal/circuit"
+	"biasmit/internal/core"
+	"biasmit/internal/correct"
+	"biasmit/internal/device"
+	"biasmit/internal/dist"
+)
+
+func TestDeviceRoundTrip(t *testing.T) {
+	for _, orig := range device.AllMachines() {
+		var buf bytes.Buffer
+		if err := SaveDevice(&buf, orig); err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		loaded, err := LoadDevice(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		if loaded.Name != orig.Name || loaded.NumQubits != orig.NumQubits {
+			t.Errorf("%s: identity fields lost", orig.Name)
+		}
+		if len(loaded.Qubits) != len(orig.Qubits) || len(loaded.Links) != len(orig.Links) {
+			t.Fatalf("%s: structure lost", orig.Name)
+		}
+		for q := range orig.Qubits {
+			if loaded.Qubits[q] != orig.Qubits[q] {
+				t.Errorf("%s qubit %d: %+v != %+v", orig.Name, q, loaded.Qubits[q], orig.Qubits[q])
+			}
+		}
+		// The loaded device must behave identically.
+		a := orig.ReadoutModel().ExactBMS()
+		b := loaded.ReadoutModel().ExactBMS()
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-12 {
+				t.Fatalf("%s: BMS diverged at %d", orig.Name, i)
+			}
+		}
+	}
+}
+
+func TestSaveDeviceRejectsInvalid(t *testing.T) {
+	bad := device.IBMQX2()
+	bad.Qubits[0].T1 = -5
+	if err := SaveDevice(&bytes.Buffer{}, bad); err == nil {
+		t.Error("invalid device saved")
+	}
+}
+
+func TestLoadDeviceRejectsTamperedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveDevice(&buf, device.IBMQX2()); err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(buf.String(), `"T1": 62`, `"T1": -1`, 1)
+	if _, err := LoadDevice(strings.NewReader(tampered)); err == nil {
+		t.Error("tampered device accepted")
+	}
+}
+
+func TestRBMSRoundTrip(t *testing.T) {
+	strength := make([]float64, 32)
+	for i := range strength {
+		strength[i] = 1 / float64(i+1)
+	}
+	orig, err := core.NewRBMS(5, strength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := RBMSMeta{Machine: "ibmqx4", Layout: []int{0, 1, 2, 3, 4}, Method: "brute"}
+	var buf bytes.Buffer
+	if err := SaveRBMS(&buf, orig, meta); err != nil {
+		t.Fatal(err)
+	}
+	loaded, gotMeta, err := LoadRBMS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta.Machine != meta.Machine || gotMeta.Method != meta.Method {
+		t.Errorf("meta = %+v", gotMeta)
+	}
+	if loaded.Width != 5 {
+		t.Fatalf("width = %d", loaded.Width)
+	}
+	for i := range strength {
+		if loaded.Strength[i] != strength[i] {
+			t.Fatalf("strength[%d] mismatch", i)
+		}
+	}
+	if loaded.StrongestState() != orig.StrongestState() {
+		t.Error("strongest state changed")
+	}
+}
+
+func TestLoadedRBMSDrivesAIM(t *testing.T) {
+	// End-to-end: profile, save, load, run AIM with the loaded profile.
+	dev := device.IBMQX4()
+	m := core.NewMachine(dev)
+	m.Opt = backend.Options{NoGateNoise: true, NoDecay: true}
+	prof := &core.Profiler{Machine: m, Layout: []int{0, 1, 2, 3, 4}}
+	rbms, err := prof.BruteForce(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveRBMS(&buf, rbms, RBMSMeta{Machine: dev.Name, Method: "brute"}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := LoadRBMS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep := circuit.New(5, "prep").PrepareBasis(bitstring.MustParse("11011"))
+	job, err := core.NewJobWithLayout(prep, m, []int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AIM(job, loaded, core.AIMConfig{}, 4000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged.Total() != 4000 {
+		t.Errorf("budget = %d", res.Merged.Total())
+	}
+}
+
+func TestTensoredRoundTrip(t *testing.T) {
+	matrices := [][2][2]float64{
+		{{0.98, 0.10}, {0.02, 0.90}},
+		{{0.95, 0.07}, {0.05, 0.93}},
+	}
+	orig, err := correct.NewTensored(matrices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTensored(&buf, orig, "ibmqx2", []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, machine, layout, err := LoadTensored(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if machine != "ibmqx2" || len(layout) != 2 {
+		t.Errorf("meta: %s %v", machine, layout)
+	}
+	// Loaded calibration must correct identically to the original.
+	counts := dist.NewCounts(2)
+	counts.Add(bitstring.MustParse("11"), 800)
+	counts.Add(bitstring.MustParse("01"), 130)
+	counts.Add(bitstring.MustParse("10"), 50)
+	counts.Add(bitstring.MustParse("00"), 20)
+	a, err := orig.Apply(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Apply(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tvd := a.TVD(b); tvd > 1e-12 {
+		t.Errorf("loaded calibration diverged: TVD %v", tvd)
+	}
+}
+
+func TestKindMismatchRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveDevice(&buf, device.IBMQX2()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadRBMS(&buf); err == nil {
+		t.Error("device file loaded as RBMS")
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveDevice(&buf, device.IBMQX2()); err != nil {
+		t.Fatal(err)
+	}
+	future := strings.Replace(buf.String(), `"version": 1`, `"version": 99`, 1)
+	if _, err := LoadDevice(strings.NewReader(future)); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestGarbageRejected(t *testing.T) {
+	if _, err := LoadDevice(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, err := LoadRBMS(strings.NewReader(`{"kind":"biasmit/rbms","version":1,"payload":{"width":3,"strength":[1]}}`)); err == nil {
+		t.Error("inconsistent RBMS accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package qasm
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics on arbitrary input and that
+// anything it accepts round-trips through Export with unit fidelity.
+func FuzzParse(f *testing.F) {
+	f.Add("qreg q[2];\nh q[0];\ncx q[0],q[1];")
+	f.Add("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nrz(pi/2) q[1];")
+	f.Add("qreg q[1];\nu3(0.1,0.2,0.3) q[0];")
+	f.Add("barrier q;")
+	f.Add("qreg q[4];\nswap q[0],q[3];\nmeasure q -> c;")
+	f.Add("qreg q[2];\nrz(-3*pi/4) q[0];\ncz q[1],q[0];")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		reparsed, err := Parse(Export(c))
+		if err != nil {
+			t.Fatalf("accepted program failed to round-trip: %v", err)
+		}
+		if reparsed.NumQubits != c.NumQubits {
+			t.Fatalf("round-trip changed register: %d -> %d", c.NumQubits, reparsed.NumQubits)
+		}
+		if c.NumQubits <= 10 {
+			if fid := reparsed.Simulate().Fidelity(c.Simulate()); math.Abs(fid-1) > 1e-6 {
+				t.Fatalf("round-trip fidelity %v", fid)
+			}
+		}
+	})
+}

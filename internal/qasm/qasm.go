@@ -1,0 +1,326 @@
+// Package qasm serializes circuits to and from OpenQASM 2.0, the
+// interchange format of the IBM Q Experience the paper's experiments ran
+// on. Export lets any circuit built here run on real hardware toolchains
+// (including the inversion strings SIM/AIM append); Parse lets published
+// QASM kernels run on the simulated machines.
+//
+// The supported gate set covers what internal/circuit can represent:
+// h, x, y, z, s, sdg, t, tdg, rx(θ), ry(θ), rz(θ), u3(θ,φ,λ), cx, cz,
+// swap, and barrier. A trailing full-register measurement is emitted on
+// export and ignored on parse (measurement is implicit in the NISQ trial
+// loop).
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"biasmit/internal/circuit"
+	"biasmit/internal/quantum"
+)
+
+// Export renders c as an OpenQASM 2.0 program with a full-register
+// measurement at the end.
+func Export(c *circuit.Circuit) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n// %s\n", c.Name)
+	fmt.Fprintf(&sb, "qreg q[%d];\ncreg c[%d];\n", c.NumQubits, c.NumQubits)
+	for _, op := range c.Ops {
+		switch op.Kind {
+		case circuit.Barrier:
+			sb.WriteString("barrier q;\n")
+		case circuit.CNOT:
+			fmt.Fprintf(&sb, "cx q[%d],q[%d];\n", op.Qubits[0], op.Qubits[1])
+		case circuit.CZ:
+			fmt.Fprintf(&sb, "cz q[%d],q[%d];\n", op.Qubits[0], op.Qubits[1])
+		case circuit.SwapOp:
+			fmt.Fprintf(&sb, "swap q[%d],q[%d];\n", op.Qubits[0], op.Qubits[1])
+		case circuit.Gate1:
+			fmt.Fprintf(&sb, "%s q[%d];\n", op.Label, op.Qubits[0])
+		}
+	}
+	fmt.Fprintf(&sb, "measure q -> c;\n")
+	return sb.String()
+}
+
+// Parse reads an OpenQASM 2.0 program produced by Export (or a subset of
+// hand-written QASM using the supported gates, single qreg, and indexed
+// operands) and rebuilds the circuit.
+func Parse(src string) (*circuit.Circuit, error) {
+	var c *circuit.Circuit
+	name := "qasm"
+	lineNo := 0
+	for _, rawLine := range strings.Split(src, "\n") {
+		lineNo++
+		line := stripComment(rawLine)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(strings.TrimSpace(rawLine), "//") {
+			if c == nil {
+				name = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rawLine), "//"))
+			}
+			continue
+		}
+		for _, stmt := range strings.Split(line, ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if err := parseStatement(&c, name, stmt); err != nil {
+				return nil, fmt.Errorf("qasm: line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if c == nil {
+		return nil, fmt.Errorf("qasm: no qreg declaration found")
+	}
+	return c, nil
+}
+
+func stripComment(line string) string {
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+func parseStatement(c **circuit.Circuit, name, stmt string) error {
+	head := stmt
+	if i := strings.IndexAny(stmt, " \t("); i >= 0 {
+		head = stmt[:i]
+	}
+	switch head {
+	case "OPENQASM", "include", "creg":
+		return nil
+	case "qreg":
+		if *c != nil {
+			return fmt.Errorf("multiple qreg declarations")
+		}
+		n, err := parseRegSize(stmt)
+		if err != nil {
+			return err
+		}
+		*c = circuit.New(n, name)
+		return nil
+	case "measure":
+		return nil // implicit full-register measurement
+	}
+	if *c == nil {
+		return fmt.Errorf("gate %q before qreg declaration", head)
+	}
+	return parseGate(*c, stmt)
+}
+
+func parseRegSize(stmt string) (int, error) {
+	open := strings.Index(stmt, "[")
+	close := strings.Index(stmt, "]")
+	if open < 0 || close < open {
+		return 0, fmt.Errorf("malformed register declaration %q", stmt)
+	}
+	n, err := strconv.Atoi(stmt[open+1 : close])
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad register size in %q", stmt)
+	}
+	if n > quantum.MaxQubits {
+		return 0, fmt.Errorf("register size %d exceeds the simulator limit of %d qubits", n, quantum.MaxQubits)
+	}
+	return n, nil
+}
+
+func parseGate(c *circuit.Circuit, stmt string) error {
+	// Split "name(params) operands" or "name operands".
+	var gate, params, operands string
+	if open := strings.Index(stmt, "("); open >= 0 {
+		close := strings.Index(stmt, ")")
+		if close < open {
+			return fmt.Errorf("unbalanced parentheses in %q", stmt)
+		}
+		gate = strings.TrimSpace(stmt[:open])
+		params = stmt[open+1 : close]
+		operands = strings.TrimSpace(stmt[close+1:])
+	} else {
+		fields := strings.Fields(stmt)
+		if len(fields) < 1 {
+			return fmt.Errorf("empty statement")
+		}
+		gate = fields[0]
+		operands = strings.TrimSpace(strings.TrimPrefix(stmt, fields[0]))
+	}
+
+	if gate == "barrier" {
+		c.AddBarrier()
+		return nil
+	}
+
+	qubits, err := parseOperands(operands, c.NumQubits)
+	if err != nil {
+		return fmt.Errorf("%q: %w", stmt, err)
+	}
+	angles, err := parseParams(params)
+	if err != nil {
+		return fmt.Errorf("%q: %w", stmt, err)
+	}
+
+	need := func(nq, na int) error {
+		if len(qubits) != nq {
+			return fmt.Errorf("%s takes %d qubits, got %d", gate, nq, len(qubits))
+		}
+		if len(angles) != na {
+			return fmt.Errorf("%s takes %d parameters, got %d", gate, na, len(angles))
+		}
+		if nq == 2 && qubits[0] == qubits[1] {
+			return fmt.Errorf("%s operands must be distinct, got q[%d] twice", gate, qubits[0])
+		}
+		return nil
+	}
+
+	switch gate {
+	case "h", "x", "y", "z", "s", "sdg", "t", "tdg", "id":
+		if err := need(1, 0); err != nil {
+			return err
+		}
+		m := map[string]quantum.Matrix2{
+			"h": quantum.H, "x": quantum.X, "y": quantum.Y, "z": quantum.Z,
+			"s": quantum.S, "sdg": quantum.Sdg, "t": quantum.T, "tdg": quantum.Tdg,
+			"id": quantum.I,
+		}[gate]
+		c.Gate(m, qubits[0], gate)
+	case "rx":
+		if err := need(1, 1); err != nil {
+			return err
+		}
+		c.RX(angles[0], qubits[0])
+	case "ry":
+		if err := need(1, 1); err != nil {
+			return err
+		}
+		c.RY(angles[0], qubits[0])
+	case "rz":
+		if err := need(1, 1); err != nil {
+			return err
+		}
+		c.RZ(angles[0], qubits[0])
+	case "u3":
+		if err := need(1, 3); err != nil {
+			return err
+		}
+		c.Gate(quantum.U3(angles[0], angles[1], angles[2]), qubits[0],
+			fmt.Sprintf("u3(%.17g,%.17g,%.17g)", angles[0], angles[1], angles[2]))
+	case "cx":
+		if err := need(2, 0); err != nil {
+			return err
+		}
+		c.CX(qubits[0], qubits[1])
+	case "cz":
+		if err := need(2, 0); err != nil {
+			return err
+		}
+		c.CZGate(qubits[0], qubits[1])
+	case "swap":
+		if err := need(2, 0); err != nil {
+			return err
+		}
+		c.Swap(qubits[0], qubits[1])
+	default:
+		return fmt.Errorf("unsupported gate %q", gate)
+	}
+	return nil
+}
+
+func parseOperands(s string, numQubits int) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("missing operands")
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		open := strings.Index(part, "[")
+		close := strings.Index(part, "]")
+		if open < 0 || close < open {
+			return nil, fmt.Errorf("malformed operand %q (register-wide gates unsupported)", part)
+		}
+		q, err := strconv.Atoi(part[open+1 : close])
+		if err != nil {
+			return nil, fmt.Errorf("bad qubit index in %q", part)
+		}
+		if q < 0 || q >= numQubits {
+			return nil, fmt.Errorf("qubit %d out of range [0,%d)", q, numQubits)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// parseParams evaluates comma-separated angle expressions supporting
+// numeric literals, pi, and the forms k*pi, pi/k, k*pi/m, -expr.
+func parseParams(s string) ([]float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := evalAngle(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func evalAngle(expr string) (float64, error) {
+	if expr == "" {
+		return 0, fmt.Errorf("empty parameter")
+	}
+	neg := false
+	if strings.HasPrefix(expr, "-") {
+		neg = true
+		expr = strings.TrimSpace(expr[1:])
+	}
+	// Split on '/' for a single division.
+	num := expr
+	den := ""
+	if i := strings.Index(expr, "/"); i >= 0 {
+		num, den = strings.TrimSpace(expr[:i]), strings.TrimSpace(expr[i+1:])
+	}
+	v, err := evalProduct(num)
+	if err != nil {
+		return 0, err
+	}
+	if den != "" {
+		d, err := evalProduct(den)
+		if err != nil {
+			return 0, err
+		}
+		if d == 0 {
+			return 0, fmt.Errorf("division by zero in %q", expr)
+		}
+		v /= d
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func evalProduct(expr string) (float64, error) {
+	v := 1.0
+	for _, factor := range strings.Split(expr, "*") {
+		factor = strings.TrimSpace(factor)
+		switch factor {
+		case "pi":
+			v *= math.Pi
+		default:
+			f, err := strconv.ParseFloat(factor, 64)
+			if err != nil {
+				return 0, fmt.Errorf("cannot evaluate %q", factor)
+			}
+			v *= f
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,186 @@
+package qasm
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"biasmit/internal/bitstring"
+	"biasmit/internal/circuit"
+	"biasmit/internal/kernels"
+	"biasmit/internal/maxcut"
+)
+
+func TestExportContainsStructure(t *testing.T) {
+	c := circuit.New(3, "demo").H(0).CX(0, 1).RZ(math.Pi/4, 2).AddBarrier().Swap(1, 2)
+	out := Export(c)
+	for _, want := range []string{
+		"OPENQASM 2.0;",
+		"qreg q[3];",
+		"creg c[3];",
+		"h q[0];",
+		"cx q[0],q[1];",
+		"barrier q;",
+		"swap q[1],q[2];",
+		"measure q -> c;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseBasicProgram(t *testing.T) {
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+// bell
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q -> c;`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 2 || len(c.Ops) != 2 {
+		t.Fatalf("parsed %d qubits, %d ops", c.NumQubits, len(c.Ops))
+	}
+	p := c.Simulate().Probabilities()
+	if math.Abs(p[0]-0.5) > 1e-9 || math.Abs(p[3]-0.5) > 1e-9 {
+		t.Errorf("parsed bell state wrong: %v", p)
+	}
+}
+
+func TestParseAngles(t *testing.T) {
+	cases := map[string]float64{
+		"rz(pi) q[0];":       math.Pi,
+		"rz(pi/2) q[0];":     math.Pi / 2,
+		"rz(2*pi) q[0];":     2 * math.Pi,
+		"rz(-pi/4) q[0];":    -math.Pi / 4,
+		"rz(0.5) q[0];":      0.5,
+		"rz(3*pi/4) q[0];":   3 * math.Pi / 4,
+		"rz(-0.25*pi) q[0];": -0.25 * math.Pi,
+	}
+	for stmt, want := range cases {
+		src := "qreg q[1];\n" + stmt
+		c, err := Parse(src)
+		if err != nil {
+			t.Errorf("%q: %v", stmt, err)
+			continue
+		}
+		// Verify by comparing against a reference circuit with the angle.
+		ref := circuit.New(1, "ref").RZ(want, 0)
+		if f := c.Simulate().Fidelity(ref.Simulate()); math.Abs(f-1) > 1e-9 {
+			t.Errorf("%q: fidelity %v", stmt, f)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                           // no qreg
+		"h q[0];",                    // gate before qreg
+		"qreg q[2];\nfoo q[0];",      // unknown gate
+		"qreg q[2];\nh q[5];",        // out of range
+		"qreg q[2];\nh q;",           // register-wide unsupported
+		"qreg q[2];\ncx q[0];",       // wrong arity
+		"qreg q[2];\nrz() q[0];",     // missing angle
+		"qreg q[2];\nrz(xy) q[0];",   // bad angle
+		"qreg q[2];\nqreg r[2];",     // second register
+		"qreg q[0];",                 // empty register
+		"qreg q[2];\nrz(pi/0) q[0];", // division by zero
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestRoundTripKernels(t *testing.T) {
+	pg, err := maxcut.Table3Graph("qaoa-4A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuits := []*circuit.Circuit{
+		kernels.GHZ(5),
+		kernels.BV("bv", bitstring.MustParse("0111")).Circuit,
+		kernels.QAOACircuit(pg.Graph, kernels.QAOAAngles{Gammas: []float64{0.7}, Betas: []float64{0.4}}),
+		kernels.UniformSuperposition(4),
+		kernels.BasisPrep(bitstring.MustParse("10110")),
+	}
+	for _, orig := range circuits {
+		parsed, err := Parse(Export(orig))
+		if err != nil {
+			t.Errorf("%s: %v", orig.Name, err)
+			continue
+		}
+		if parsed.NumQubits != orig.NumQubits {
+			t.Errorf("%s: register %d != %d", orig.Name, parsed.NumQubits, orig.NumQubits)
+			continue
+		}
+		if f := parsed.Simulate().Fidelity(orig.Simulate()); math.Abs(f-1) > 1e-9 {
+			t.Errorf("%s: round-trip fidelity %v", orig.Name, f)
+		}
+	}
+}
+
+// Property: random circuits round-trip through QASM with unit fidelity.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		c := circuit.New(n, "rand")
+		for i := 0; i < 15; i++ {
+			switch rng.Intn(7) {
+			case 0:
+				c.H(rng.Intn(n))
+			case 1:
+				c.X(rng.Intn(n))
+			case 2:
+				c.RZ(rng.Float64()*2*math.Pi-math.Pi, rng.Intn(n))
+			case 3:
+				c.RY(rng.Float64()*2*math.Pi-math.Pi, rng.Intn(n))
+			case 4:
+				a := rng.Intn(n)
+				b := (a + 1 + rng.Intn(n-1)) % n
+				c.CX(a, b)
+			case 5:
+				a := rng.Intn(n)
+				b := (a + 1 + rng.Intn(n-1)) % n
+				c.CZGate(a, b)
+			case 6:
+				c.S(rng.Intn(n))
+			}
+		}
+		parsed, err := Parse(Export(c))
+		if err != nil {
+			return false
+		}
+		return math.Abs(parsed.Simulate().Fidelity(c.Simulate())-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(101))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRejectsOversizedRegister(t *testing.T) {
+	// Regression for a fuzzer finding: an oversized qreg must be a parse
+	// error, not a panic from the circuit constructor.
+	if _, err := Parse("qreg q[70];"); err == nil {
+		t.Error("oversized register accepted")
+	}
+}
+
+func TestParseRejectsRepeatedOperands(t *testing.T) {
+	// Regression for a fuzzer finding: two-qubit gates on one qubit must
+	// be a parse error, not a builder panic.
+	for _, stmt := range []string{"cx q[0],q[0];", "cz q[1],q[1];", "swap q[0],q[0];"} {
+		if _, err := Parse("qreg q[2];\n" + stmt); err == nil {
+			t.Errorf("%q accepted", stmt)
+		}
+	}
+}

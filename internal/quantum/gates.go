@@ -1,0 +1,171 @@
+// Package quantum implements a dense state-vector simulator for n-qubit
+// registers, the substrate every experiment in this reproduction runs on.
+//
+// The paper's measurements were taken on IBM superconducting hardware;
+// with no quantum ecosystem available in Go, this package provides the
+// ideal quantum mechanics (superposition, entanglement, unitary gates,
+// projective measurement) and the stochastic noise jumps (Pauli kicks,
+// amplitude-damping trajectories) that the device models in
+// internal/device compose into machine-faithful behaviour.
+//
+// Amplitudes are stored in the computational basis with qubit q occupying
+// bit q of the index (little-endian): index 0b101 means qubit 0 and
+// qubit 2 are |1⟩. This matches the bitstring package convention.
+package quantum
+
+import "math"
+
+// Matrix2 is a single-qubit operator in the computational basis:
+// [ a b ]   acting as |0⟩ → a|0⟩ + c|1⟩,
+// [ c d ]             |1⟩ → b|0⟩ + d|1⟩.
+type Matrix2 [2][2]complex128
+
+// Matrix4 is a two-qubit operator in the basis |q1 q0⟩ = {00,01,10,11}
+// where q0 is the first qubit argument of Apply2.
+type Matrix4 [4][4]complex128
+
+// Mul returns the matrix product m·o.
+func (m Matrix2) Mul(o Matrix2) Matrix2 {
+	var r Matrix2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			r[i][j] = m[i][0]*o[0][j] + m[i][1]*o[1][j]
+		}
+	}
+	return r
+}
+
+// Dagger returns the conjugate transpose of m.
+func (m Matrix2) Dagger() Matrix2 {
+	var r Matrix2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			c := m[j][i]
+			r[i][j] = complex(real(c), -imag(c))
+		}
+	}
+	return r
+}
+
+// IsUnitary reports whether m†m = I within tol.
+func (m Matrix2) IsUnitary(tol float64) bool {
+	p := m.Dagger().Mul(m)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := complex(0, 0)
+			if i == j {
+				want = 1
+			}
+			d := p[i][j] - want
+			if math.Hypot(real(d), imag(d)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Standard single-qubit gates.
+var (
+	// I is the identity.
+	I = Matrix2{{1, 0}, {0, 1}}
+	// X is the Pauli-X (bit flip) gate — the inversion primitive of
+	// Invert-and-Measure (paper Fig 2c).
+	X = Matrix2{{0, 1}, {1, 0}}
+	// Y is the Pauli-Y gate.
+	Y = Matrix2{{0, complex(0, -1)}, {complex(0, 1), 0}}
+	// Z is the Pauli-Z (phase flip) gate.
+	Z = Matrix2{{1, 0}, {0, -1}}
+	// H is the Hadamard gate, used to prepare equal superpositions for
+	// ESCT characterization and the BV/QAOA kernels.
+	H = Matrix2{{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)},
+		{complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0)}}
+	// S is the phase gate (√Z).
+	S = Matrix2{{1, 0}, {0, complex(0, 1)}}
+	// Sdg is S†.
+	Sdg = Matrix2{{1, 0}, {0, complex(0, -1)}}
+	// T is the π/8 gate (√S).
+	T = Matrix2{{1, 0}, {0, complex(math.Cos(math.Pi/4), math.Sin(math.Pi/4))}}
+	// Tdg is T†.
+	Tdg = Matrix2{{1, 0}, {0, complex(math.Cos(math.Pi/4), -math.Sin(math.Pi/4))}}
+)
+
+// RX returns the rotation exp(-iθX/2), the QAOA mixer gate.
+func RX(theta float64) Matrix2 {
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	return Matrix2{
+		{complex(c, 0), complex(0, -s)},
+		{complex(0, -s), complex(c, 0)},
+	}
+}
+
+// RY returns the rotation exp(-iθY/2).
+func RY(theta float64) Matrix2 {
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	return Matrix2{
+		{complex(c, 0), complex(-s, 0)},
+		{complex(s, 0), complex(c, 0)},
+	}
+}
+
+// RZ returns the rotation exp(-iθZ/2), used (between CNOTs) to implement
+// the QAOA cost-layer ZZ interaction.
+func RZ(theta float64) Matrix2 {
+	return Matrix2{
+		{complex(math.Cos(theta/2), -math.Sin(theta/2)), 0},
+		{0, complex(math.Cos(theta/2), math.Sin(theta/2))},
+	}
+}
+
+// U3 returns the general single-qubit gate with the OpenQASM u3 convention.
+func U3(theta, phi, lambda float64) Matrix2 {
+	ct, st := math.Cos(theta/2), math.Sin(theta/2)
+	eip := complex(math.Cos(phi), math.Sin(phi))
+	eil := complex(math.Cos(lambda), math.Sin(lambda))
+	return Matrix2{
+		{complex(ct, 0), -eil * complex(st, 0)},
+		{eip * complex(st, 0), eip * eil * complex(ct, 0)},
+	}
+}
+
+// Pauli identifies one of the four Pauli operators; it is the error type
+// injected by the depolarizing gate-noise channel.
+type Pauli int
+
+// The Pauli operators.
+const (
+	PauliI Pauli = iota
+	PauliX
+	PauliY
+	PauliZ
+)
+
+// Matrix returns the 2×2 matrix of p.
+func (p Pauli) Matrix() Matrix2 {
+	switch p {
+	case PauliI:
+		return I
+	case PauliX:
+		return X
+	case PauliY:
+		return Y
+	case PauliZ:
+		return Z
+	}
+	panic("quantum: invalid Pauli")
+}
+
+// String returns "I", "X", "Y" or "Z".
+func (p Pauli) String() string {
+	switch p {
+	case PauliI:
+		return "I"
+	case PauliX:
+		return "X"
+	case PauliY:
+		return "Y"
+	case PauliZ:
+		return "Z"
+	}
+	return "?"
+}

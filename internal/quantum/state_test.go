@@ -1,0 +1,401 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"biasmit/internal/bitstring"
+)
+
+const tol = 1e-12
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewStateIsGround(t *testing.T) {
+	s := NewState(3)
+	if s.NumQubits() != 3 {
+		t.Fatalf("NumQubits = %d", s.NumQubits())
+	}
+	if got := s.Amplitude(bitstring.Zeros(3)); got != 1 {
+		t.Errorf("amp(000) = %v", got)
+	}
+	if !approx(s.Norm(), 1) {
+		t.Errorf("norm = %v", s.Norm())
+	}
+}
+
+func TestNewBasisState(t *testing.T) {
+	b := bitstring.MustParse("101")
+	s := NewBasisState(b)
+	if got := s.Amplitude(b); got != 1 {
+		t.Errorf("amp(101) = %v", got)
+	}
+	if got := s.Amplitude(bitstring.Zeros(3)); got != 0 {
+		t.Errorf("amp(000) = %v", got)
+	}
+}
+
+func TestXInvertsBasisState(t *testing.T) {
+	// Fig 2(c): X inverts the qubit state.
+	s := NewState(2)
+	s.Apply1(X, 0)
+	if got := s.Amplitude(bitstring.MustParse("01")); got != 1 {
+		t.Errorf("after X on q0, amp(01) = %v", got)
+	}
+	s.Apply1(X, 1)
+	if got := s.Amplitude(bitstring.MustParse("11")); got != 1 {
+		t.Errorf("after X on q1, amp(11) = %v", got)
+	}
+}
+
+func TestHadamardCreatesEqualSuperposition(t *testing.T) {
+	s := NewState(1)
+	s.Apply1(H, 0)
+	p := s.Probabilities()
+	if !approx(p[0], 0.5) || !approx(p[1], 0.5) {
+		t.Errorf("probabilities = %v", p)
+	}
+	s.Apply1(H, 0) // H is self-inverse
+	if !approx(real(s.Amplitude(bitstring.Zeros(1))), 1) {
+		t.Errorf("HH|0> != |0>: %v", s.amps)
+	}
+}
+
+func TestUniformSuperpositionAllQubits(t *testing.T) {
+	// ESCT preparation: H on every qubit yields 1/2^n for every basis state.
+	const n = 5
+	s := NewState(n)
+	for q := 0; q < n; q++ {
+		s.Apply1(H, q)
+	}
+	want := 1.0 / float64(1<<n)
+	for i, p := range s.Probabilities() {
+		if !approx(p, want) {
+			t.Fatalf("P(%d) = %v, want %v", i, p, want)
+		}
+	}
+}
+
+func TestCNOT(t *testing.T) {
+	// |10⟩ (q1=1): CNOT(control=1,target=0) → |11⟩.
+	s := NewBasisState(bitstring.MustParse("10"))
+	s.ApplyCNOT(1, 0)
+	if got := s.Amplitude(bitstring.MustParse("11")); got != 1 {
+		t.Errorf("CNOT|10> amp(11) = %v", got)
+	}
+	// Control 0 leaves target alone.
+	s2 := NewBasisState(bitstring.MustParse("01"))
+	s2.ApplyCNOT(1, 0)
+	if got := s2.Amplitude(bitstring.MustParse("01")); got != 1 {
+		t.Errorf("CNOT|01> amp(01) = %v", got)
+	}
+}
+
+func TestGHZState(t *testing.T) {
+	// H + CNOT chain yields (|000…⟩+|111…⟩)/√2 — the paper's GHZ-5 probe.
+	const n = 5
+	s := NewState(n)
+	s.Apply1(H, 0)
+	for q := 0; q < n-1; q++ {
+		s.ApplyCNOT(q, q+1)
+	}
+	p := s.Probabilities()
+	if !approx(p[0], 0.5) || !approx(p[(1<<n)-1], 0.5) {
+		t.Fatalf("GHZ endpoints: p0=%v p31=%v", p[0], p[(1<<n)-1])
+	}
+	for i := 1; i < (1<<n)-1; i++ {
+		if p[i] > tol {
+			t.Fatalf("GHZ leaked mass to %d: %v", i, p[i])
+		}
+	}
+}
+
+func TestCZ(t *testing.T) {
+	s := NewState(2)
+	s.Apply1(H, 0)
+	s.Apply1(H, 1)
+	s.ApplyCZ(0, 1)
+	if got := s.Amplitude(bitstring.MustParse("11")); !approx(real(got), -0.5) {
+		t.Errorf("CZ phase: %v", got)
+	}
+	if got := s.Amplitude(bitstring.MustParse("01")); !approx(real(got), 0.5) {
+		t.Errorf("CZ should not touch |01>: %v", got)
+	}
+}
+
+func TestSWAP(t *testing.T) {
+	s := NewBasisState(bitstring.MustParse("01"))
+	s.ApplySWAP(0, 1)
+	if got := s.Amplitude(bitstring.MustParse("10")); got != 1 {
+		t.Errorf("SWAP|01> = %v", s.amps)
+	}
+}
+
+func TestApplyControlledMatchesCNOT(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s1 := randomState(3, rng)
+	s2 := s1.Clone()
+	s1.ApplyCNOT(2, 0)
+	s2.ApplyControlled(X, 2, 0)
+	if f := s1.Fidelity(s2); !approx(f, 1) {
+		t.Errorf("controlled-X vs CNOT fidelity = %v", f)
+	}
+}
+
+func TestApply2MatchesComposition(t *testing.T) {
+	// A 4×4 CZ matrix must agree with ApplyCZ.
+	cz := Matrix4{}
+	for i := 0; i < 4; i++ {
+		cz[i][i] = 1
+	}
+	cz[3][3] = -1
+	rng := rand.New(rand.NewSource(6))
+	s1 := randomState(3, rng)
+	s2 := s1.Clone()
+	s1.ApplyCZ(0, 2)
+	s2.Apply2(cz, 0, 2)
+	if f := s1.Fidelity(s2); !approx(f, 1) {
+		t.Errorf("Apply2 CZ fidelity = %v", f)
+	}
+}
+
+func TestRotationGates(t *testing.T) {
+	// RX(π) = -iX: flips |0⟩ to |1⟩ up to phase.
+	s := NewState(1)
+	s.Apply1(RX(math.Pi), 0)
+	if p := s.Prob1(0); !approx(p, 1) {
+		t.Errorf("RX(pi) P(1) = %v", p)
+	}
+	// RY(π/2)|0> has equal probabilities.
+	s2 := NewState(1)
+	s2.Apply1(RY(math.Pi/2), 0)
+	if p := s2.Prob1(0); !approx(p, 0.5) {
+		t.Errorf("RY(pi/2) P(1) = %v", p)
+	}
+	// RZ only adds phase on basis states.
+	s3 := NewState(1)
+	s3.Apply1(RZ(1.3), 0)
+	if p := s3.Prob1(0); !approx(p, 0) {
+		t.Errorf("RZ changed probabilities: %v", p)
+	}
+}
+
+func TestGateUnitarity(t *testing.T) {
+	gates := map[string]Matrix2{
+		"I": I, "X": X, "Y": Y, "Z": Z, "H": H, "S": S, "Sdg": Sdg, "T": T, "Tdg": Tdg,
+		"RX": RX(0.7), "RY": RY(-1.2), "RZ": RZ(2.9), "U3": U3(0.3, 1.1, -0.4),
+	}
+	for name, g := range gates {
+		if !g.IsUnitary(1e-12) {
+			t.Errorf("%s is not unitary", name)
+		}
+	}
+}
+
+func TestPauliMatrices(t *testing.T) {
+	for _, p := range []Pauli{PauliI, PauliX, PauliY, PauliZ} {
+		if !p.Matrix().IsUnitary(1e-12) {
+			t.Errorf("%v not unitary", p)
+		}
+	}
+	if PauliX.String() != "X" || PauliI.String() != "I" {
+		t.Error("Pauli String broken")
+	}
+}
+
+func TestProb1(t *testing.T) {
+	s := NewBasisState(bitstring.MustParse("101"))
+	if !approx(s.Prob1(0), 1) || !approx(s.Prob1(1), 0) || !approx(s.Prob1(2), 1) {
+		t.Errorf("Prob1 = %v %v %v", s.Prob1(0), s.Prob1(1), s.Prob1(2))
+	}
+}
+
+func TestSampleMatchesProbabilities(t *testing.T) {
+	s := NewState(2)
+	s.Apply1(H, 0)
+	s.Apply1(RY(math.Pi/3), 1)
+	rng := rand.New(rand.NewSource(11))
+	counts := make(map[uint64]int)
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		counts[s.Sample(rng).Uint64()]++
+	}
+	p := s.Probabilities()
+	for i := range p {
+		got := float64(counts[uint64(i)]) / trials
+		if math.Abs(got-p[i]) > 0.01 {
+			t.Errorf("P(%d): sampled %v, exact %v", i, got, p[i])
+		}
+	}
+}
+
+func TestMeasureAllCollapses(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := NewState(3)
+	for q := 0; q < 3; q++ {
+		s.Apply1(H, q)
+	}
+	out := s.MeasureAll(rng)
+	if got := s.Amplitude(out); got != 1 {
+		t.Errorf("post-measurement amp(%v) = %v", out, got)
+	}
+	// Re-measuring must give the same outcome.
+	if again := s.MeasureAll(rng); again != out {
+		t.Errorf("repeat measurement %v != %v", again, out)
+	}
+}
+
+func TestAmplitudeDampingFullDecay(t *testing.T) {
+	// gamma=1 forces |1⟩ → |0⟩ always: the extreme of the paper's
+	// relaxation-during-readout mechanism.
+	rng := rand.New(rand.NewSource(17))
+	s := NewBasisState(bitstring.MustParse("1"))
+	s.ApplyAmplitudeDamping(0, 1, rng)
+	if p := s.Prob1(0); !approx(p, 0) {
+		t.Errorf("gamma=1 left P(1)=%v", p)
+	}
+}
+
+func TestAmplitudeDampingChannelAverage(t *testing.T) {
+	// Averaged over trajectories, P(1) of an initial |1⟩ must decay to
+	// 1-gamma.
+	const gamma = 0.3
+	const trials = 20000
+	rng := rand.New(rand.NewSource(19))
+	var sum float64
+	for i := 0; i < trials; i++ {
+		s := NewBasisState(bitstring.MustParse("1"))
+		s.ApplyAmplitudeDamping(0, gamma, rng)
+		sum += s.Prob1(0)
+	}
+	got := sum / trials
+	if math.Abs(got-(1-gamma)) > 0.01 {
+		t.Errorf("mean P(1) = %v, want %v", got, 1-gamma)
+	}
+}
+
+func TestAmplitudeDampingPreservesNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := randomState(4, rng)
+	for i := 0; i < 10; i++ {
+		s.ApplyAmplitudeDamping(i%4, 0.2, rng)
+		if !approx(s.Norm(), 1) {
+			t.Fatalf("norm drifted to %v", s.Norm())
+		}
+	}
+}
+
+func TestAmplitudeDampingGroundStateUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	s := NewState(2)
+	s.ApplyAmplitudeDamping(0, 0.9, rng)
+	if got := s.Amplitude(bitstring.Zeros(2)); !approx(real(got), 1) {
+		t.Errorf("damping disturbed |00>: %v", got)
+	}
+}
+
+func TestFidelity(t *testing.T) {
+	a := NewState(2)
+	b := NewState(2)
+	if f := a.Fidelity(b); !approx(f, 1) {
+		t.Errorf("identical fidelity = %v", f)
+	}
+	b.Apply1(X, 0)
+	if f := a.Fidelity(b); !approx(f, 0) {
+		t.Errorf("orthogonal fidelity = %v", f)
+	}
+}
+
+func TestInvalidArgumentsPanic(t *testing.T) {
+	cases := []func(){
+		func() { NewState(0) },
+		func() { NewState(MaxQubits + 1) },
+		func() { NewState(2).Apply1(X, 2) },
+		func() { NewState(2).ApplyCNOT(0, 0) },
+		func() { NewState(2).ApplyCZ(1, 1) },
+		func() { NewState(2).ApplySWAP(0, 0) },
+		func() { NewState(2).ApplyAmplitudeDamping(0, 1.5, rand.New(rand.NewSource(1))) },
+		func() { NewState(3).Apply2(Matrix4{}, 1, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: every unitary gate application preserves the norm.
+func TestQuickUnitaryPreservesNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := func(seed int64, thetaRaw uint16, q0raw, q1raw uint8) bool {
+		localRng := rand.New(rand.NewSource(seed))
+		const n = 4
+		s := randomState(n, localRng)
+		theta := float64(thetaRaw) / 1000
+		q0 := int(q0raw) % n
+		q1 := int(q1raw) % n
+		s.Apply1(H, q0)
+		s.Apply1(RX(theta), q0)
+		s.Apply1(RZ(-theta), q1)
+		if q0 != q1 {
+			s.ApplyCNOT(q0, q1)
+			s.ApplyCZ(q0, q1)
+			s.ApplySWAP(q0, q1)
+		}
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: X on every qubit maps |b⟩ to |~b⟩ — the inversion identity
+// underlying Invert-and-Measure.
+func TestQuickFullInversionMapsToComplement(t *testing.T) {
+	f := func(v uint8) bool {
+		b := bitstring.New(uint64(v), 5)
+		s := NewBasisState(b)
+		for q := 0; q < 5; q++ {
+			s.Apply1(X, q)
+		}
+		return approx(real(s.Amplitude(b.Invert())), 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64, Rand: rand.New(rand.NewSource(37))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: applying an arbitrary inversion string via X gates maps |b⟩
+// to |b XOR s⟩.
+func TestQuickInversionStringSemantics(t *testing.T) {
+	f := func(v, inv uint8) bool {
+		b := bitstring.New(uint64(v), 6)
+		s6 := bitstring.New(uint64(inv), 6)
+		st := NewBasisState(b)
+		for q := 0; q < 6; q++ {
+			if s6.Bit(q) {
+				st.Apply1(X, q)
+			}
+		}
+		return approx(real(st.Amplitude(b.Xor(s6))), 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(41))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomState(n int, rng *rand.Rand) *State {
+	s := NewState(n)
+	for i := range s.amps {
+		s.amps[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	s.Normalize()
+	return s
+}

@@ -1,0 +1,83 @@
+// Package report renders experiment results as fixed-width text tables
+// and ASCII bar series, the output format of cmd/paperfigs and the
+// benchmark harness.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders a fixed-width text table with a header row.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", w, cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Bars renders labeled values as horizontal ASCII bars scaled so the
+// largest value spans width characters. Values must be non-negative.
+func Bars(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic("report: labels and values length mismatch")
+	}
+	if width < 1 {
+		width = 40
+	}
+	maxLabel, maxVal := 0, 0.0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		n := 0
+		if maxVal > 0 {
+			n = int(values[i] / maxVal * float64(width))
+		}
+		fmt.Fprintf(&sb, "%-*s %s %.4f\n", maxLabel, l, strings.Repeat("#", n), values[i])
+	}
+	return sb.String()
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignsColumns(t *testing.T) {
+	out := Table(
+		[]string{"name", "value"},
+		[][]string{
+			{"a", "1"},
+			{"longer-name", "22"},
+		},
+	)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// All lines equally wide (trailing spaces trimmed per cell rendering).
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "longer-name") || !strings.Contains(lines[3], "22") {
+		t.Errorf("row: %q", lines[3])
+	}
+	// Value column starts at the same offset in every row.
+	col := strings.Index(lines[0], "value")
+	if strings.Index(lines[2], "1") != col {
+		t.Errorf("misaligned value column:\n%s", out)
+	}
+}
+
+func TestTableHandlesShortRows(t *testing.T) {
+	out := Table([]string{"a", "b"}, [][]string{{"only"}})
+	if !strings.Contains(out, "only") {
+		t.Errorf("short row missing: %q", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"x", "yy"}, []float64{1.0, 0.5}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if n := strings.Count(lines[0], "#"); n != 10 {
+		t.Errorf("max bar has %d chars, want 10: %q", n, lines[0])
+	}
+	if n := strings.Count(lines[1], "#"); n != 5 {
+		t.Errorf("half bar has %d chars, want 5: %q", n, lines[1])
+	}
+	if !strings.Contains(lines[0], "1.0000") {
+		t.Errorf("value missing: %q", lines[0])
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars([]string{"a"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Errorf("zero value drew a bar: %q", out)
+	}
+}
+
+func TestBarsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Bars([]string{"a"}, []float64{1, 2}, 10)
+}
+
+func TestBarsDefaultWidth(t *testing.T) {
+	out := Bars([]string{"a"}, []float64{1}, 0)
+	if n := strings.Count(out, "#"); n != 40 {
+		t.Errorf("default width bar = %d", n)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := F(0.12345); got != "0.1234" && got != "0.1235" {
+		t.Errorf("F = %q", got)
+	}
+	if got := Pct(0.1234); got != "12.34%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

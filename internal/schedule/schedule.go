@@ -1,0 +1,207 @@
+// Package schedule computes gate timing for circuits on device models:
+// an ASAP (as-soon-as-possible) schedule assigning each operation a start
+// and end time, per-qubit idle windows, and aggregate statistics.
+//
+// Timing matters to the paper's effect in two ways. First, qubits relax
+// toward |0⟩ during *idle* time as well as during gates, so a
+// schedule-aware noise model (backend.Options.ScheduleAwareDecay) decays
+// qubits through the gaps between their operations — deep, poorly packed
+// circuits lose their high-Hamming-weight amplitudes before measurement
+// ever begins. Second, the schedule exposes circuit duration and critical
+// path, the quantities a compiler would minimize to protect weak states.
+package schedule
+
+import (
+	"fmt"
+
+	"biasmit/internal/circuit"
+	"biasmit/internal/device"
+)
+
+// OpTiming is the scheduled interval of one circuit operation. Barrier
+// ops get zero-length intervals at the synchronization point.
+type OpTiming struct {
+	Start, End float64
+}
+
+// IdleWindow is a gap during which a qubit sits idle between operations
+// (or between its last operation and measurement).
+type IdleWindow struct {
+	Qubit    int
+	From, To float64
+}
+
+// Timeline is the full ASAP schedule of a circuit on a device.
+type Timeline struct {
+	Ops []OpTiming
+	// Duration is the time at which every qubit is finished and
+	// measurement can begin.
+	Duration float64
+	// FinishAt holds each qubit's last busy time.
+	FinishAt []float64
+	// Idle lists every idle window of every qubit that ever executed a
+	// gate, including the final gap before measurement, in op order.
+	Idle []IdleWindow
+}
+
+// OpDuration returns the modeled duration of op on dev: calibrated gate
+// times, with SWAP costed as three CNOTs and barriers free.
+func OpDuration(op circuit.Op, dev *device.Device) float64 {
+	switch {
+	case op.Kind == circuit.Barrier:
+		return 0
+	case op.Kind == circuit.SwapOp:
+		return 3 * dev.Gate2Duration
+	case op.IsTwoQubit():
+		return dev.Gate2Duration
+	default:
+		return dev.Gate1Duration
+	}
+}
+
+// Compute builds the ASAP timeline of c on dev. The circuit must already
+// be expressed on the device register.
+func Compute(c *circuit.Circuit, dev *device.Device) (*Timeline, error) {
+	if c.NumQubits != dev.NumQubits {
+		return nil, fmt.Errorf("schedule: circuit register %d does not match device %s with %d qubits",
+			c.NumQubits, dev.Name, dev.NumQubits)
+	}
+	tl := &Timeline{
+		Ops:      make([]OpTiming, len(c.Ops)),
+		FinishAt: make([]float64, c.NumQubits),
+	}
+	everUsed := make([]bool, c.NumQubits)
+	for i, op := range c.Ops {
+		if op.Kind == circuit.Barrier {
+			// Synchronize all qubits, recording the waiting time of the
+			// early finishers as idle.
+			sync := 0.0
+			for _, t := range tl.FinishAt {
+				if t > sync {
+					sync = t
+				}
+			}
+			for q := range tl.FinishAt {
+				if everUsed[q] && tl.FinishAt[q] < sync {
+					tl.Idle = append(tl.Idle, IdleWindow{Qubit: q, From: tl.FinishAt[q], To: sync})
+				}
+				tl.FinishAt[q] = sync
+			}
+			tl.Ops[i] = OpTiming{Start: sync, End: sync}
+			continue
+		}
+		start := 0.0
+		for _, q := range op.Qubits {
+			if tl.FinishAt[q] > start {
+				start = tl.FinishAt[q]
+			}
+		}
+		end := start + OpDuration(op, dev)
+		tl.Ops[i] = OpTiming{Start: start, End: end}
+		for _, q := range op.Qubits {
+			if everUsed[q] && start > tl.FinishAt[q] {
+				tl.Idle = append(tl.Idle, IdleWindow{Qubit: q, From: tl.FinishAt[q], To: start})
+			}
+			tl.FinishAt[q] = end
+			everUsed[q] = true
+		}
+	}
+	for _, t := range tl.FinishAt {
+		if t > tl.Duration {
+			tl.Duration = t
+		}
+	}
+	// Final pre-measurement gaps for qubits that executed gates.
+	for q, used := range everUsed {
+		if used && tl.FinishAt[q] < tl.Duration {
+			tl.Idle = append(tl.Idle, IdleWindow{Qubit: q, From: tl.FinishAt[q], To: tl.Duration})
+		}
+	}
+	return tl, nil
+}
+
+// QubitGap is an idle duration attributed to a qubit, consumed by the
+// backend's schedule-aware decay.
+type QubitGap struct {
+	Qubit    int
+	Duration float64
+}
+
+// PerOpIdle replays the ASAP schedule and returns, for each op, the idle
+// gaps its operand qubits accumulated since their previous activity, plus
+// the final pre-measurement gaps of all active qubits. This is the form
+// the noisy backend consumes: decay each gap just before the op (or the
+// measurement) that ends it.
+func PerOpIdle(c *circuit.Circuit, dev *device.Device) (before [][]QubitGap, final []QubitGap, err error) {
+	tl, err := Compute(c, dev)
+	if err != nil {
+		return nil, nil, err
+	}
+	before = make([][]QubitGap, len(c.Ops))
+	finish := make([]float64, c.NumQubits)
+	everUsed := make([]bool, c.NumQubits)
+	for i, op := range c.Ops {
+		if op.Kind == circuit.Barrier {
+			for q := range finish {
+				if gap := tl.Ops[i].End - finish[q]; everUsed[q] && gap > 0 {
+					before[i] = append(before[i], QubitGap{Qubit: q, Duration: gap})
+				}
+				finish[q] = tl.Ops[i].End
+			}
+			continue
+		}
+		for _, q := range op.Qubits {
+			if gap := tl.Ops[i].Start - finish[q]; everUsed[q] && gap > 0 {
+				before[i] = append(before[i], QubitGap{Qubit: q, Duration: gap})
+			}
+			finish[q] = tl.Ops[i].End
+			everUsed[q] = true
+		}
+	}
+	for q, used := range everUsed {
+		if gap := tl.Duration - finish[q]; used && gap > 0 {
+			final = append(final, QubitGap{Qubit: q, Duration: gap})
+		}
+	}
+	return before, final, nil
+}
+
+// TotalIdle returns the summed idle time across all qubits.
+func (tl *Timeline) TotalIdle() float64 {
+	var s float64
+	for _, w := range tl.Idle {
+		s += w.To - w.From
+	}
+	return s
+}
+
+// QubitIdle returns the summed idle time of one qubit.
+func (tl *Timeline) QubitIdle(q int) float64 {
+	var s float64
+	for _, w := range tl.Idle {
+		if w.Qubit == q {
+			s += w.To - w.From
+		}
+	}
+	return s
+}
+
+// Utilization returns busy-time / (active qubits × duration), a packing
+// quality measure in (0, 1].
+func (tl *Timeline) Utilization() float64 {
+	if tl.Duration == 0 {
+		return 1
+	}
+	active := 0
+	var busy float64
+	for q, t := range tl.FinishAt {
+		if t > 0 {
+			active++
+			busy += tl.Duration - tl.QubitIdle(q)
+		}
+	}
+	if active == 0 {
+		return 1
+	}
+	return busy / (float64(active) * tl.Duration)
+}

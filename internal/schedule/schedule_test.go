@@ -1,0 +1,299 @@
+package schedule_test
+
+import (
+	"math"
+	"testing"
+
+	"biasmit/internal/backend"
+	"biasmit/internal/bitstring"
+	"biasmit/internal/circuit"
+	"biasmit/internal/device"
+	"biasmit/internal/schedule"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// testDevice returns a fully-connected 3-qubit device with unit gate
+// durations for easy arithmetic.
+func testDevice() *device.Device {
+	d := &device.Device{
+		Name:          "sched-test",
+		NumQubits:     3,
+		Gate1Duration: 1,
+		Gate2Duration: 10,
+	}
+	for i := 0; i < 3; i++ {
+		d.Qubits = append(d.Qubits, device.Qubit{T1: 100})
+	}
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			d.Links = append(d.Links, device.Link{A: a, B: b})
+		}
+	}
+	return d
+}
+
+func TestComputeSerialChain(t *testing.T) {
+	dev := testDevice()
+	c := circuit.New(3, "chain").H(0).CX(0, 1).H(1)
+	tl, err := schedule.Compute(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// H(0): [0,1); CX(0,1): [1,11); H(1): [11,12).
+	want := []schedule.OpTiming{{0, 1}, {1, 11}, {11, 12}}
+	for i, w := range want {
+		if !approx(tl.Ops[i].Start, w.Start) || !approx(tl.Ops[i].End, w.End) {
+			t.Errorf("op %d timing = %+v, want %+v", i, tl.Ops[i], w)
+		}
+	}
+	if !approx(tl.Duration, 12) {
+		t.Errorf("duration = %v", tl.Duration)
+	}
+}
+
+func TestComputeParallelOps(t *testing.T) {
+	dev := testDevice()
+	c := circuit.New(3, "par").H(0).H(1).H(2)
+	tl, err := schedule.Compute(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Ops {
+		if !approx(tl.Ops[i].Start, 0) {
+			t.Errorf("op %d did not start at 0: %+v", i, tl.Ops[i])
+		}
+	}
+	if !approx(tl.Duration, 1) || len(tl.Idle) != 0 {
+		t.Errorf("duration %v, idle %v", tl.Duration, tl.Idle)
+	}
+	if !approx(tl.Utilization(), 1) {
+		t.Errorf("utilization = %v", tl.Utilization())
+	}
+}
+
+func TestIdleWindows(t *testing.T) {
+	dev := testDevice()
+	// q2 acts at time 0 (H), then waits while q0-q1 run a CX, then CX(1,2).
+	c := circuit.New(3, "idle").H(2).CX(0, 1).CX(1, 2)
+	tl, err := schedule.Compute(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CX(1,2) starts at 10 (after CX(0,1)); q2 idle from 1 to 10.
+	found := false
+	for _, w := range tl.Idle {
+		if w.Qubit == 2 && approx(w.From, 1) && approx(w.To, 10) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing q2 idle window [1,10): %v", tl.Idle)
+	}
+	if got := tl.QubitIdle(2); !approx(got, 9) {
+		t.Errorf("QubitIdle(2) = %v", got)
+	}
+	// q0 finishes at 10, circuit ends at 20: final idle window of 10.
+	if got := tl.QubitIdle(0); !approx(got, 10) {
+		t.Errorf("QubitIdle(0) = %v", got)
+	}
+	if got := tl.TotalIdle(); !approx(got, 19) {
+		t.Errorf("TotalIdle = %v", got)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	dev := testDevice()
+	c := circuit.New(3, "bar").H(0).CX(1, 2).AddBarrier().H(0)
+	tl, err := schedule.Compute(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Barrier at t=10 (end of CX); q0 idle [1,10); final H starts at 10.
+	if !approx(tl.Ops[3].Start, 10) {
+		t.Errorf("post-barrier op starts at %v", tl.Ops[3].Start)
+	}
+	if got := tl.QubitIdle(0); !approx(got, 9) {
+		t.Errorf("QubitIdle(0) = %v (pre-barrier wait)", got)
+	}
+}
+
+func TestUnusedQubitHasNoIdle(t *testing.T) {
+	dev := testDevice()
+	c := circuit.New(3, "partial").CX(0, 1)
+	tl, err := schedule.Compute(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tl.QubitIdle(2); got != 0 {
+		t.Errorf("unused qubit idle = %v", got)
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	if _, err := schedule.Compute(circuit.New(2, "small"), testDevice()); err == nil {
+		t.Error("register mismatch accepted")
+	}
+}
+
+func TestPerOpIdleMatchesTimeline(t *testing.T) {
+	dev := testDevice()
+	c := circuit.New(3, "idle").H(2).CX(0, 1).CX(1, 2).AddBarrier().H(0)
+	tl, err := schedule.Compute(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, final, err := schedule.PerOpIdle(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, gaps := range before {
+		for _, g := range gaps {
+			total += g.Duration
+		}
+	}
+	for _, g := range final {
+		total += g.Duration
+	}
+	if !approx(total, tl.TotalIdle()) {
+		t.Errorf("PerOpIdle total %v != timeline total %v", total, tl.TotalIdle())
+	}
+}
+
+func TestScheduleAwareDecayWeakensIdleOnes(t *testing.T) {
+	// A |1⟩ prepared early and left idle while other qubits work must
+	// decay more under schedule-aware decay than under the gate-only
+	// model. Construct: X(2) then a long serial CX chain on q0-q1.
+	dev := testDevice()
+	for i := range dev.Qubits {
+		dev.Qubits[i].T1 = 30 // strong decay relative to the 40-unit chain
+	}
+	c := circuit.New(3, "decay").X(2)
+	for i := 0; i < 4; i++ {
+		c.CX(0, 1)
+		c.CX(0, 1)
+	}
+	const shots = 20000
+	gateOnly, err := backend.Run(c, dev, backend.Options{
+		Shots: shots, Seed: 61, NoGateNoise: true, NoReadoutError: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduled, err := backend.Run(c, dev, backend.Options{
+		Shots: shots, Seed: 62, NoGateNoise: true, NoReadoutError: true,
+		ScheduleAwareDecay: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := func(counts interface {
+		Get(bitstring.Bits) int
+		Total() int
+	}) float64 {
+		return float64(counts.Get(bitstring.MustParse("100"))) / float64(counts.Total())
+	}
+	gOnly, sched := p1(gateOnly), p1(scheduled)
+	if sched >= gOnly {
+		t.Errorf("schedule-aware decay did not weaken the idle |1⟩: gate-only %v, scheduled %v", gOnly, sched)
+	}
+	// Expected survival: exp(-80/30) ≈ 0.07 (q2 idles the whole 80-unit
+	// chain); gate-only leaves it at ≈ exp(-1/30) ≈ 0.97.
+	if sched > 0.25 {
+		t.Errorf("scheduled survival %v too high", sched)
+	}
+	if gOnly < 0.9 {
+		t.Errorf("gate-only survival %v too low", gOnly)
+	}
+}
+
+func TestScheduleAwareDecayNoopWhenNoDecay(t *testing.T) {
+	dev := device.IBMQX2()
+	c := circuit.New(5, "x").PrepareBasis(bitstring.MustParse("11111"))
+	a, err := backend.Run(c, dev, backend.Options{
+		Shots: 2000, Seed: 63, NoDecay: true, NoGateNoise: true, NoReadoutError: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := backend.Run(c, dev, backend.Options{
+		Shots: 2000, Seed: 63, NoDecay: true, NoGateNoise: true, NoReadoutError: true,
+		ScheduleAwareDecay: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range a.Outcomes() {
+		if a.Get(o) != b.Get(o) {
+			t.Fatalf("NoDecay + ScheduleAwareDecay changed results at %v", o)
+		}
+	}
+}
+
+func TestIdleInversionEqualizesDecay(t *testing.T) {
+	// An idle |1⟩ drains toward 0 while an idle |0⟩ is safe; midpoint
+	// inversion makes both spend half the wait in the fragile state,
+	// equalizing their survival — the paper's averaging idea applied to
+	// idle decoherence.
+	// Idle ~79 units vs T1 = 200: a first-order decay regime (~33%
+	// loss), where midpoint inversion symmetrizes cleanly. (With idle
+	// comparable to T1, double-decay paths dominate and the inversion
+	// overshoots toward favouring |1>.)
+	dev := testDevice()
+	for i := range dev.Qubits {
+		dev.Qubits[i].T1 = 200
+	}
+	// q2 idles for ~80 units while q0-q1 run a CX chain.
+	build := func(q2state bool) *circuit.Circuit {
+		c := circuit.New(3, "idle")
+		if q2state {
+			c.X(2)
+		} else {
+			// Keep gate counts identical: two X's cancel.
+			c.X(2)
+			c.X(2)
+		}
+		for i := 0; i < 4; i++ {
+			c.CX(0, 1)
+			c.CX(0, 1)
+		}
+		return c
+	}
+	survival := func(c *circuit.Circuit, want bitstring.Bits, inversion bool, seed int64) float64 {
+		counts, err := backend.Run(c, dev, backend.Options{
+			Shots: 30000, Seed: seed, NoGateNoise: true, NoReadoutError: true,
+			ScheduleAwareDecay: true, IdleInversion: inversion,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(counts.Get(want)) / float64(counts.Total())
+	}
+
+	one := bitstring.MustParse("100")
+	zero := bitstring.MustParse("000")
+
+	plainOne := survival(build(true), one, false, 71)
+	plainZero := survival(build(false), zero, false, 72)
+	invOne := survival(build(true), one, true, 73)
+	invZero := survival(build(false), zero, true, 74)
+
+	// Without inversion the |1⟩ idle state is far weaker than |0⟩.
+	if plainZero-plainOne < 0.2 {
+		t.Fatalf("expected strong idle bias: zero %v, one %v", plainZero, plainOne)
+	}
+	// With inversion the two survivals converge.
+	gapPlain := plainZero - plainOne
+	gapInv := invZero - invOne
+	if gapInv < 0 {
+		gapInv = -gapInv
+	}
+	if gapInv > gapPlain/3 {
+		t.Errorf("idle inversion did not equalize: plain gap %v, inverted gap %v", gapPlain, gapInv)
+	}
+	// And the weak state improved substantially.
+	if invOne < plainOne+0.15 {
+		t.Errorf("idle |1⟩ survival: plain %v, inverted %v", plainOne, invOne)
+	}
+}

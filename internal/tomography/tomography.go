@@ -1,0 +1,230 @@
+// Package tomography reconstructs single-qubit states from measurement
+// statistics: the Bloch vector of one qubit of a register is estimated
+// by running the same preparation under Z-, X-, and Y-basis readout.
+//
+// In this reproduction it serves as a state-level diagnostic: the
+// T1-relaxation mechanism behind the paper's measurement bias appears as
+// a Bloch vector drifting toward +Z (the |0⟩ pole) and shrinking in the
+// equatorial plane, and readout asymmetry appears as a biased Z estimate
+// even for perfectly prepared states. Like every run in this module, the
+// estimates are taken through the full noisy pipeline — they measure
+// what an experimenter would see, not the underlying density matrix.
+package tomography
+
+import (
+	"fmt"
+	"math"
+
+	"biasmit/internal/circuit"
+	"biasmit/internal/core"
+	"biasmit/internal/dist"
+)
+
+// BlochVector is the expectation triple (⟨X⟩, ⟨Y⟩, ⟨Z⟩) of one qubit.
+type BlochVector struct {
+	X, Y, Z float64
+}
+
+// Norm returns |r|, which is 1 for pure states and shrinks under noise.
+func (b BlochVector) Norm() float64 {
+	return math.Sqrt(b.X*b.X + b.Y*b.Y + b.Z*b.Z)
+}
+
+// Purity returns tr(ρ²) = (1 + |r|²)/2 of the implied single-qubit state.
+func (b BlochVector) Purity() float64 {
+	n := b.Norm()
+	return (1 + n*n) / 2
+}
+
+// Basis selects a measurement basis for one qubit.
+type Basis int
+
+// Measurement bases. The computational basis is Z; X and Y are reached
+// by appending H, or S†·H, before readout.
+const (
+	BasisZ Basis = iota
+	BasisX
+	BasisY
+)
+
+// String names the basis.
+func (b Basis) String() string {
+	switch b {
+	case BasisZ:
+		return "Z"
+	case BasisX:
+		return "X"
+	case BasisY:
+		return "Y"
+	}
+	return "?"
+}
+
+// withBasisRotation returns a copy of c with the pre-measurement rotation
+// that maps the requested basis onto Z for qubit q.
+func withBasisRotation(c *circuit.Circuit, q int, basis Basis) *circuit.Circuit {
+	out := c.Clone()
+	switch basis {
+	case BasisZ:
+	case BasisX:
+		out.H(q)
+	case BasisY:
+		out.Sdg(q)
+		out.H(q)
+	}
+	return out
+}
+
+// expectation converts a logical output histogram into ⟨σ⟩ for qubit q:
+// P(bit 0) − P(bit 1).
+func expectation(counts *dist.Counts, q int) float64 {
+	d := counts.Dist()
+	var e float64
+	for b, p := range d.P {
+		if b.Bit(q) {
+			e -= p
+		} else {
+			e += p
+		}
+	}
+	return e
+}
+
+// T1Fit is the result of estimating a qubit's relaxation time from
+// measured decay data.
+type T1Fit struct {
+	T1 float64 // fitted relaxation time, in the device's time units
+	// Survival holds the measured P(read 1) at each requested delay.
+	Delays   []float64
+	Survival []float64
+}
+
+// FitT1 estimates the relaxation time of logical qubit q on the machine
+// the way a calibration suite does: prepare |1⟩, idle for each requested
+// delay (realized as schedule gaps under schedule-aware decay), measure,
+// and fit ln P(1) against delay by least squares. Readout error biases
+// the individual points but cancels in the slope, so the estimate tracks
+// the model's true T1. The machine's options must enable
+// ScheduleAwareDecay for the delays to take effect.
+func FitT1(m *core.Machine, physicalQubit int, delays []float64, shotsPerDelay int, seed int64) (T1Fit, error) {
+	if len(delays) < 2 {
+		return T1Fit{}, fmt.Errorf("tomography: need at least 2 delays, got %d", len(delays))
+	}
+	if shotsPerDelay <= 0 {
+		return T1Fit{}, fmt.Errorf("tomography: shotsPerDelay must be positive")
+	}
+	dev := m.Device
+	if physicalQubit < 0 || physicalQubit >= dev.NumQubits {
+		return T1Fit{}, fmt.Errorf("tomography: qubit %d out of range [0,%d)", physicalQubit, dev.NumQubits)
+	}
+	// A helper qubit runs busy-work to open an idle window on the probe.
+	helper := (physicalQubit + 1) % dev.NumQubits
+
+	fit := T1Fit{}
+	for i, delay := range delays {
+		if delay <= 0 {
+			return T1Fit{}, fmt.Errorf("tomography: delay %v must be positive", delay)
+		}
+		c := circuit.New(2, fmt.Sprintf("t1-delay-%g", delay))
+		c.X(0)
+		// Stack single-qubit gates on the helper until the probe has
+		// idled for at least the requested delay.
+		reps := int(delay/dev.Gate1Duration + 0.5)
+		for r := 0; r < reps; r++ {
+			c.X(1)
+			c.X(1)
+		}
+		// Entangle nothing; a final helper-probe barrier synchronizes the
+		// schedule so the probe's idle window closes at measurement.
+		job, err := core.NewJobWithLayout(c, m, []int{physicalQubit, helper})
+		if err != nil {
+			return T1Fit{}, err
+		}
+		counts, err := job.Baseline(shotsPerDelay, seed+int64(i))
+		if err != nil {
+			return T1Fit{}, err
+		}
+		ones := 0
+		for _, out := range counts.Outcomes() {
+			if out.Bit(0) {
+				ones += counts.Get(out)
+			}
+		}
+		p := float64(ones) / float64(counts.Total())
+		if p <= 0 {
+			return T1Fit{}, fmt.Errorf("tomography: qubit fully decayed at delay %v; use shorter delays", delay)
+		}
+		fit.Delays = append(fit.Delays, 2*float64(reps)*dev.Gate1Duration)
+		fit.Survival = append(fit.Survival, p)
+	}
+	// Least-squares slope of ln P against delay: slope = −1/T1.
+	n := float64(len(fit.Delays))
+	var sx, sy, sxx, sxy float64
+	for i := range fit.Delays {
+		x, y := fit.Delays[i], math.Log(fit.Survival[i])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return T1Fit{}, fmt.Errorf("tomography: degenerate delay set")
+	}
+	slope := (n*sxy - sx*sy) / den
+	if slope >= 0 {
+		return T1Fit{}, fmt.Errorf("tomography: no decay observed (slope %v); enable ScheduleAwareDecay", slope)
+	}
+	fit.T1 = -1 / slope
+	return fit, nil
+}
+
+// Config controls a tomography run.
+type Config struct {
+	// ShotsPerBasis is the trial budget of each of the three bases.
+	ShotsPerBasis int
+	// Seed drives all three runs deterministically.
+	Seed int64
+	// Layout optionally pins the circuit to physical qubits; empty uses
+	// variability-aware placement.
+	Layout []int
+}
+
+// Bloch estimates the Bloch vector of logical qubit q at the end of
+// circuit c on machine m, measuring ShotsPerBasis trials in each basis.
+func Bloch(c *circuit.Circuit, q int, m *core.Machine, cfg Config) (BlochVector, error) {
+	if q < 0 || q >= c.NumQubits {
+		return BlochVector{}, fmt.Errorf("tomography: qubit %d out of range [0,%d)", q, c.NumQubits)
+	}
+	if cfg.ShotsPerBasis <= 0 {
+		return BlochVector{}, fmt.Errorf("tomography: ShotsPerBasis must be positive")
+	}
+	var out BlochVector
+	for i, basis := range []Basis{BasisZ, BasisX, BasisY} {
+		rotated := withBasisRotation(c, q, basis)
+		var job *core.Job
+		var err error
+		if len(cfg.Layout) > 0 {
+			job, err = core.NewJobWithLayout(rotated, m, cfg.Layout)
+		} else {
+			job, err = core.NewJob(rotated, m)
+		}
+		if err != nil {
+			return BlochVector{}, fmt.Errorf("tomography: %s basis: %w", basis, err)
+		}
+		counts, err := job.Baseline(cfg.ShotsPerBasis, cfg.Seed+int64(i))
+		if err != nil {
+			return BlochVector{}, fmt.Errorf("tomography: %s basis: %w", basis, err)
+		}
+		e := expectation(counts, q)
+		switch basis {
+		case BasisZ:
+			out.Z = e
+		case BasisX:
+			out.X = e
+		case BasisY:
+			out.Y = e
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package tomography
+
+import (
+	"math"
+	"testing"
+
+	"biasmit/internal/backend"
+	"biasmit/internal/circuit"
+	"biasmit/internal/core"
+	"biasmit/internal/device"
+)
+
+func idealMachine() *core.Machine {
+	m := core.NewMachine(device.IBMQX2())
+	m.Opt = backend.Options{NoGateNoise: true, NoDecay: true, NoReadoutError: true}
+	return m
+}
+
+func cfgWith(shots int, seed int64) Config {
+	return Config{ShotsPerBasis: shots, Seed: seed, Layout: []int{0, 1, 2, 3, 4}}
+}
+
+func within(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestBlochCardinalStates(t *testing.T) {
+	m := idealMachine()
+	cases := []struct {
+		name  string
+		build func(c *circuit.Circuit)
+		want  BlochVector
+	}{
+		{"zero", func(c *circuit.Circuit) {}, BlochVector{Z: 1}},
+		{"one", func(c *circuit.Circuit) { c.X(0) }, BlochVector{Z: -1}},
+		{"plus", func(c *circuit.Circuit) { c.H(0) }, BlochVector{X: 1}},
+		{"minus", func(c *circuit.Circuit) { c.X(0); c.H(0) }, BlochVector{X: -1}},
+		{"plus-i", func(c *circuit.Circuit) { c.H(0); c.S(0) }, BlochVector{Y: 1}},
+	}
+	for _, tc := range cases {
+		c := circuit.New(5, tc.name)
+		tc.build(c)
+		got, err := Bloch(c, 0, m, cfgWith(20000, 1))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !within(got.X, tc.want.X, 0.03) || !within(got.Y, tc.want.Y, 0.03) || !within(got.Z, tc.want.Z, 0.03) {
+			t.Errorf("%s: got %+v, want %+v", tc.name, got, tc.want)
+		}
+		if got.Purity() < 0.95 {
+			t.Errorf("%s: purity %v on an ideal machine", tc.name, got.Purity())
+		}
+	}
+}
+
+func TestBlochRotatedState(t *testing.T) {
+	// RX(θ)|0⟩ has Z = cos θ, Y = −sin θ, X = 0.
+	m := idealMachine()
+	theta := 0.8
+	c := circuit.New(5, "rx").RX(theta, 0)
+	got, err := Bloch(c, 0, m, cfgWith(30000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !within(got.Z, math.Cos(theta), 0.03) || !within(got.Y, -math.Sin(theta), 0.03) || !within(got.X, 0, 0.03) {
+		t.Errorf("RX(%v): %+v", theta, got)
+	}
+}
+
+func TestBlochSeesReadoutBias(t *testing.T) {
+	// With readout error on, a perfectly prepared |1⟩ reads with Z above
+	// its true −1 (1→0 misreads dominate): the state-level signature of
+	// the paper's bias.
+	m := core.NewMachine(device.IBMQX2())
+	m.Opt = backend.Options{NoGateNoise: true, NoDecay: true}
+	c := circuit.New(5, "one").X(0)
+	got, err := Bloch(c, 0, m, cfgWith(30000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := m.Device.ReadoutModel()
+	p10 := model.PerQubit[0].P10
+	wantZ := -(1 - 2*p10) // Z = P(read 0) − P(read 1) = p10 − (1 − p10)
+	if !within(got.Z, wantZ, 0.03) {
+		t.Errorf("Z = %v, want ≈ %v (readout-biased)", got.Z, wantZ)
+	}
+	if got.Z <= -1+p10 {
+		t.Errorf("Z = %v shows no bias toward 0", got.Z)
+	}
+}
+
+func TestBlochSeesDecay(t *testing.T) {
+	// A |1⟩ left to decay (schedule-aware idle on a slow circuit) drifts
+	// toward +Z and loses purity relative to the ideal preparation.
+	dev := device.IBMQX2()
+	m := core.NewMachine(dev)
+	m.Opt = backend.Options{NoGateNoise: true, NoReadoutError: true, ScheduleAwareDecay: true}
+	c := circuit.New(5, "decay").X(0)
+	// Busy other qubits so qubit 0 idles.
+	for i := 0; i < 30; i++ {
+		c.CX(1, 2)
+	}
+	got, err := Bloch(c, 0, m, cfgWith(30000, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Z <= -0.95 {
+		t.Errorf("Z = %v: no decay visible", got.Z)
+	}
+	if got.Z >= 0.5 {
+		t.Errorf("Z = %v: decayed too far for this idle window", got.Z)
+	}
+}
+
+func TestBlochValidation(t *testing.T) {
+	m := idealMachine()
+	c := circuit.New(3, "v")
+	if _, err := Bloch(c, 5, m, Config{ShotsPerBasis: 10}); err == nil {
+		t.Error("out-of-range qubit accepted")
+	}
+	if _, err := Bloch(c, 0, m, Config{ShotsPerBasis: 0}); err == nil {
+		t.Error("zero shots accepted")
+	}
+}
+
+func TestBasisString(t *testing.T) {
+	if BasisZ.String() != "Z" || BasisX.String() != "X" || BasisY.String() != "Y" {
+		t.Error("basis names broken")
+	}
+}
+
+func TestFitT1RecoversModelValue(t *testing.T) {
+	dev := device.IBMQX2()
+	m := core.NewMachine(dev)
+	m.Opt = backend.Options{NoGateNoise: true, ScheduleAwareDecay: true}
+	const probe = 0
+	trueT1 := dev.Qubits[probe].T1
+	delays := []float64{trueT1 / 6, trueT1 / 3, trueT1 / 2}
+	fit, err := FitT1(m, probe, delays, 12000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(fit.T1-trueT1) / trueT1; rel > 0.15 {
+		t.Errorf("fitted T1 = %v, model %v (%.0f%% off)", fit.T1, trueT1, 100*rel)
+	}
+	// Survival must be monotone decreasing across delays.
+	for i := 1; i < len(fit.Survival); i++ {
+		if fit.Survival[i] >= fit.Survival[i-1] {
+			t.Errorf("survival not decreasing: %v", fit.Survival)
+		}
+	}
+}
+
+func TestFitT1Validation(t *testing.T) {
+	m := core.NewMachine(device.IBMQX2())
+	m.Opt = backend.Options{ScheduleAwareDecay: true}
+	if _, err := FitT1(m, 0, []float64{10}, 100, 1); err == nil {
+		t.Error("single delay accepted")
+	}
+	if _, err := FitT1(m, 99, []float64{10, 20}, 100, 1); err == nil {
+		t.Error("bad qubit accepted")
+	}
+	if _, err := FitT1(m, 0, []float64{10, 20}, 0, 1); err == nil {
+		t.Error("zero shots accepted")
+	}
+	if _, err := FitT1(m, 0, []float64{-5, 20}, 100, 1); err == nil {
+		t.Error("negative delay accepted")
+	}
+}

@@ -1,0 +1,314 @@
+// Package transpile maps logical circuits onto physical device qubits.
+//
+// The paper's baseline is a variability-aware mapping ([26, 28] in the
+// paper): logical qubits are allocated to the machine's strongest
+// physical qubits and links, and SWAPs are inserted only when the
+// coupling graph requires them. Both the baseline and the SIM/AIM
+// policies run through the same mapping (paper §4.3: "identical program,
+// number of gates, and position of qubits"), so this package is shared by
+// every experiment.
+package transpile
+
+import (
+	"fmt"
+	"sort"
+
+	"biasmit/internal/bitstring"
+	"biasmit/internal/circuit"
+	"biasmit/internal/device"
+	"biasmit/internal/dist"
+)
+
+// Plan is the result of placing a logical circuit on a device.
+type Plan struct {
+	// Physical is the routed circuit on the full device register.
+	Physical *circuit.Circuit
+	// InitialLayout maps each logical qubit to the physical qubit that
+	// holds it at circuit start.
+	InitialLayout []int
+	// FinalLayout maps each logical qubit to the physical qubit that
+	// holds it at measurement time (differs from InitialLayout when
+	// routing inserted SWAPs).
+	FinalLayout []int
+	// SwapCount is the number of SWAP gates inserted by routing.
+	SwapCount int
+
+	logicalQubits int
+	deviceQubits  int
+}
+
+// Place allocates the logical qubits of c onto dev's strongest connected
+// qubits and routes every two-qubit gate, returning an executable plan.
+func Place(c *circuit.Circuit, dev *device.Device) (*Plan, error) {
+	if c.NumQubits > dev.NumQubits {
+		return nil, fmt.Errorf("transpile: circuit needs %d qubits but %s has %d",
+			c.NumQubits, dev.Name, dev.NumQubits)
+	}
+	layout := allocate(c, dev)
+	return route(c, dev, layout, dev.ShortestPath)
+}
+
+// PlaceNoiseRouted is Place with noise-aware routing: SWAP paths minimize
+// accumulated link error (device.CheapestPath) instead of hop count, so
+// detours around a noisy link are taken when they pay for themselves.
+func PlaceNoiseRouted(c *circuit.Circuit, dev *device.Device) (*Plan, error) {
+	if c.NumQubits > dev.NumQubits {
+		return nil, fmt.Errorf("transpile: circuit needs %d qubits but %s has %d",
+			c.NumQubits, dev.Name, dev.NumQubits)
+	}
+	layout := allocate(c, dev)
+	return route(c, dev, layout, dev.CheapestPath)
+}
+
+// PlaceNaive routes c with the identity layout (logical qubit i on
+// physical qubit i), the allocation a hardware-oblivious compiler would
+// produce. It exists as the comparison point for the variability-aware
+// Place: the paper's baseline already includes noise-aware allocation
+// ([26, 28]), and the gap between the two policies is measured by
+// experiments.AllocationComparison.
+func PlaceNaive(c *circuit.Circuit, dev *device.Device) (*Plan, error) {
+	if c.NumQubits > dev.NumQubits {
+		return nil, fmt.Errorf("transpile: circuit needs %d qubits but %s has %d",
+			c.NumQubits, dev.Name, dev.NumQubits)
+	}
+	layout := make([]int, c.NumQubits)
+	for i := range layout {
+		layout[i] = i
+	}
+	return route(c, dev, layout, dev.ShortestPath)
+}
+
+// PlaceWithLayout routes c using a caller-chosen initial layout, e.g. to
+// pin benchmarks to identical qubits across policies.
+func PlaceWithLayout(c *circuit.Circuit, dev *device.Device, layout []int) (*Plan, error) {
+	if len(layout) != c.NumQubits {
+		return nil, fmt.Errorf("transpile: layout has %d entries for %d logical qubits",
+			len(layout), c.NumQubits)
+	}
+	seen := make(map[int]bool)
+	for _, p := range layout {
+		if p < 0 || p >= dev.NumQubits {
+			return nil, fmt.Errorf("transpile: layout target %d outside %s", p, dev.Name)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("transpile: layout reuses physical qubit %d", p)
+		}
+		seen[p] = true
+	}
+	return route(c, dev, append([]int(nil), layout...), dev.ShortestPath)
+}
+
+// qubitCost scores a physical qubit: lower is better. Readout error
+// dominates, as in the paper's focus; gate error and short T1 penalize.
+func qubitCost(dev *device.Device, q int) float64 {
+	model := dev.ReadoutModel()
+	cost := 4*model.PerQubit[q].Average() + 2*dev.Qubits[q].Gate1Error
+	// Favor qubits with at least one strong link.
+	best := 1.0
+	for _, nb := range dev.Neighbors(q) {
+		if e, err := dev.Gate2Error(q, nb); err == nil && e < best {
+			best = e
+		}
+	}
+	cost += best
+	// Short T1 worsens both decay and readout relaxation.
+	cost += 1.0 / dev.Qubits[q].T1
+	return cost
+}
+
+// allocate chooses an initial layout: logical qubits ordered by how much
+// they interact are greedily placed on the cheapest physical qubits,
+// preferring neighbours of already-placed interaction partners so that
+// heavy pairs land on real links.
+func allocate(c *circuit.Circuit, dev *device.Device) []int {
+	// Interaction weights between logical qubits.
+	weight := make(map[[2]int]int)
+	degree := make([]int, c.NumQubits)
+	for _, op := range c.Ops {
+		if !op.IsTwoQubit() {
+			continue
+		}
+		a, b := op.Qubits[0], op.Qubits[1]
+		if a > b {
+			a, b = b, a
+		}
+		weight[[2]int{a, b}]++
+		degree[op.Qubits[0]]++
+		degree[op.Qubits[1]]++
+	}
+	order := make([]int, c.NumQubits)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return degree[order[i]] > degree[order[j]] })
+
+	costs := make([]float64, dev.NumQubits)
+	for q := 0; q < dev.NumQubits; q++ {
+		costs[q] = qubitCost(dev, q)
+	}
+	used := make([]bool, dev.NumQubits)
+	layout := make([]int, c.NumQubits)
+	for i := range layout {
+		layout[i] = -1
+	}
+
+	cheapestFree := func(candidates []int) int {
+		best, bestCost := -1, 0.0
+		for _, q := range candidates {
+			if used[q] {
+				continue
+			}
+			if best == -1 || costs[q] < bestCost {
+				best, bestCost = q, costs[q]
+			}
+		}
+		return best
+	}
+	allQubits := make([]int, dev.NumQubits)
+	for q := range allQubits {
+		allQubits[q] = q
+	}
+
+	for _, lq := range order {
+		// Prefer free neighbours of already placed interaction partners,
+		// weighted by interaction count.
+		var candidates []int
+		bestWeight := 0
+		for other := 0; other < c.NumQubits; other++ {
+			if layout[other] == -1 || other == lq {
+				continue
+			}
+			a, b := lq, other
+			if a > b {
+				a, b = b, a
+			}
+			w := weight[[2]int{a, b}]
+			if w == 0 {
+				continue
+			}
+			if w > bestWeight {
+				bestWeight = w
+				candidates = nil
+			}
+			if w == bestWeight {
+				candidates = append(candidates, dev.Neighbors(layout[other])...)
+			}
+		}
+		choice := cheapestFree(candidates)
+		if choice == -1 {
+			choice = cheapestFree(allQubits)
+		}
+		layout[lq] = choice
+		used[choice] = true
+	}
+	return layout
+}
+
+// route rewrites c onto the device register using the given initial
+// layout, inserting SWAPs along pathfinder-chosen coupling paths when a
+// two-qubit gate spans uncoupled physical qubits.
+func route(c *circuit.Circuit, dev *device.Device, layout []int, pathfinder func(a, b int) []int) (*Plan, error) {
+	l2p := append([]int(nil), layout...)
+	p2l := make([]int, dev.NumQubits)
+	for i := range p2l {
+		p2l[i] = -1
+	}
+	for lq, pq := range l2p {
+		if p2l[pq] != -1 {
+			return nil, fmt.Errorf("transpile: layout collision on physical qubit %d", pq)
+		}
+		p2l[pq] = lq
+	}
+
+	phys := circuit.New(dev.NumQubits, c.Name+"@"+dev.Name)
+	swaps := 0
+	swapPhysical := func(u, v int) {
+		phys.Swap(u, v)
+		swaps++
+		lu, lv := p2l[u], p2l[v]
+		p2l[u], p2l[v] = lv, lu
+		if lu != -1 {
+			l2p[lu] = v
+		}
+		if lv != -1 {
+			l2p[lv] = u
+		}
+	}
+
+	for _, op := range c.Ops {
+		switch {
+		case op.Kind == circuit.Barrier:
+			phys.AddBarrier()
+		case !op.IsTwoQubit():
+			phys.Gate(op.Matrix, l2p[op.Qubits[0]], op.Label)
+		default:
+			pa, pb := l2p[op.Qubits[0]], l2p[op.Qubits[1]]
+			if !dev.Connected(pa, pb) {
+				path := pathfinder(pa, pb)
+				if path == nil {
+					return nil, fmt.Errorf("transpile: no coupling path between physical %d and %d on %s",
+						pa, pb, dev.Name)
+				}
+				// Walk the first operand toward the second until adjacent.
+				for len(path) > 2 {
+					swapPhysical(path[0], path[1])
+					path = path[1:]
+				}
+				pa, pb = l2p[op.Qubits[0]], l2p[op.Qubits[1]]
+			}
+			switch op.Kind {
+			case circuit.CNOT:
+				phys.CX(pa, pb)
+			case circuit.CZ:
+				phys.CZGate(pa, pb)
+			case circuit.SwapOp:
+				phys.Swap(pa, pb)
+			}
+		}
+	}
+	return &Plan{
+		Physical:      phys,
+		InitialLayout: append([]int(nil), layout...),
+		FinalLayout:   l2p,
+		SwapCount:     swaps,
+		logicalQubits: c.NumQubits,
+		deviceQubits:  dev.NumQubits,
+	}, nil
+}
+
+// WithInversion returns a copy of the physical circuit with the logical
+// inversion string s applied just before measurement: an X gate on the
+// physical qubit holding each logical qubit where s has a 1. This is the
+// transpiler-level realization of Invert-and-Measure.
+func (p *Plan) WithInversion(s bitstring.Bits) *circuit.Circuit {
+	if s.Width() != p.logicalQubits {
+		panic(fmt.Sprintf("transpile: inversion string width %d for %d logical qubits",
+			s.Width(), p.logicalQubits))
+	}
+	c := p.Physical.Clone()
+	for lq := 0; lq < p.logicalQubits; lq++ {
+		if s.Bit(lq) {
+			c.X(p.FinalLayout[lq])
+		}
+	}
+	return c
+}
+
+// ExtractLogical projects a device-register histogram down to the logical
+// register using the final layout: logical bit i is read from physical
+// qubit FinalLayout[i].
+func (p *Plan) ExtractLogical(counts *dist.Counts) *dist.Counts {
+	if counts.Width() != p.deviceQubits {
+		panic(fmt.Sprintf("transpile: histogram width %d does not match device %d",
+			counts.Width(), p.deviceQubits))
+	}
+	out := dist.NewCounts(p.logicalQubits)
+	for _, b := range counts.Outcomes() {
+		logical := bitstring.Zeros(p.logicalQubits)
+		for lq := 0; lq < p.logicalQubits; lq++ {
+			logical = logical.SetBit(lq, b.Bit(p.FinalLayout[lq]))
+		}
+		out.Add(logical, counts.Get(b))
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package zne
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"biasmit/internal/backend"
+	"biasmit/internal/bitstring"
+	"biasmit/internal/circuit"
+	"biasmit/internal/core"
+	"biasmit/internal/device"
+	"biasmit/internal/dist"
+	"biasmit/internal/kernels"
+	"biasmit/internal/maxcut"
+)
+
+func TestFoldPreservesSemantics(t *testing.T) {
+	pg, err := maxcut.Table3Graph("qaoa-4A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuits := []*circuit.Circuit{
+		kernels.GHZ(4),
+		kernels.BV("bv", bitstring.MustParse("101")).Circuit,
+		kernels.QAOACircuit(pg.Graph, kernels.QAOAAngles{Gammas: []float64{0.6}, Betas: []float64{0.3}}),
+	}
+	for _, c := range circuits {
+		ideal := c.Simulate()
+		for _, factor := range []int{1, 3, 5} {
+			folded, err := Fold(c, factor)
+			if err != nil {
+				t.Fatalf("%s fold %d: %v", c.Name, factor, err)
+			}
+			oneQ, twoQ, _ := c.GateCounts()
+			fq, ftwoQ, _ := folded.GateCounts()
+			if fq != factor*oneQ || ftwoQ != factor*twoQ {
+				t.Errorf("%s fold %d: gate counts %d/%d, want %d/%d",
+					c.Name, factor, fq, ftwoQ, factor*oneQ, factor*twoQ)
+			}
+			if f := folded.Simulate().Fidelity(ideal); math.Abs(f-1) > 1e-9 {
+				t.Errorf("%s fold %d: ideal fidelity %v", c.Name, factor, f)
+			}
+		}
+	}
+}
+
+func TestFoldValidation(t *testing.T) {
+	c := kernels.GHZ(3)
+	for _, bad := range []int{0, 2, -1} {
+		if _, err := Fold(c, bad); err == nil {
+			t.Errorf("factor %d accepted", bad)
+		}
+	}
+}
+
+func TestInverseIsAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	for trial := 0; trial < 20; trial++ {
+		c := circuit.New(4, "rand")
+		for i := 0; i < 20; i++ {
+			switch rng.Intn(6) {
+			case 0:
+				c.H(rng.Intn(4))
+			case 1:
+				c.T(rng.Intn(4))
+			case 2:
+				c.RZ(rng.Float64()*4-2, rng.Intn(4))
+			case 3:
+				c.RY(rng.Float64()*4-2, rng.Intn(4))
+			case 4:
+				a := rng.Intn(4)
+				c.CX(a, (a+1)%4)
+			case 5:
+				a := rng.Intn(4)
+				c.Swap(a, (a+1)%4)
+			}
+		}
+		roundTrip := c.Clone().Append(c.Inverse())
+		ground := circuit.New(4, "ground").Simulate()
+		if f := roundTrip.Simulate().Fidelity(ground); math.Abs(f-1) > 1e-9 {
+			t.Fatalf("trial %d: C·C† fidelity to identity %v", trial, f)
+		}
+	}
+}
+
+func TestExtrapolate(t *testing.T) {
+	// Exact linear data: intercept recovered exactly.
+	got, err := Extrapolate([]float64{1, 3, 5}, []float64{0.9, 0.7, 0.5})
+	if err != nil || math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Extrapolate = %v, err=%v; want 1.0", got, err)
+	}
+	// Two-point Richardson.
+	got, err = Extrapolate([]float64{1, 3}, []float64{0.8, 0.6})
+	if err != nil || math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("two-point = %v, err=%v; want 0.9", got, err)
+	}
+	if _, err := Extrapolate([]float64{1}, []float64{0.5}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Extrapolate([]float64{2, 2}, []float64{0.5, 0.6}); err == nil {
+		t.Error("degenerate factors accepted")
+	}
+	if _, err := Extrapolate([]float64{1, 3}, []float64{0.5}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestExpectation(t *testing.T) {
+	d := dist.Dist{Width: 2, P: map[bitstring.Bits]float64{
+		bitstring.MustParse("00"): 0.5,
+		bitstring.MustParse("11"): 0.25,
+		bitstring.MustParse("01"): 0.25,
+	}}
+	parity := func(b bitstring.Bits) float64 {
+		if b.HammingWeight()%2 == 0 {
+			return 1
+		}
+		return -1
+	}
+	// 0.75·(+1) + 0.25·(−1) = 0.5
+	if got := Expectation(d, parity); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Expectation = %v", got)
+	}
+}
+
+func TestMitigateExpectationRecoversCutValue(t *testing.T) {
+	// QAOA on melbourne: gate noise pulls the expected cut value toward
+	// the random-guess mean; ZNE must move the estimate back toward the
+	// ideal value.
+	pg, err := maxcut.Table3Graph("qaoa-6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench := kernels.QAOA("qaoa-6", pg, 1)
+	obs := func(b bitstring.Bits) float64 { return pg.Graph.CutValue(b) }
+
+	ideal := Expectation(backend.RunIdeal(bench.Circuit), obs)
+
+	m := core.NewMachine(device.IBMQMelbourne())
+	m.Opt.NoReadoutError = true // isolate the gate-error family ZNE targets
+	res, err := MitigateExpectation(bench.Circuit, m, obs, []int{1, 3}, 20000, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := res.Values[0]
+	if raw >= ideal {
+		t.Fatalf("premise broken: noisy value %v not below ideal %v", raw, ideal)
+	}
+	if math.Abs(res.Mitigated-ideal) >= math.Abs(raw-ideal) {
+		t.Errorf("ZNE did not improve: raw %v, mitigated %v, ideal %v", raw, res.Mitigated, ideal)
+	}
+	// Noise must actually be amplified at factor 3.
+	if res.Values[1] >= res.Values[0] {
+		t.Errorf("folding did not amplify noise: %v", res.Values)
+	}
+}
+
+func TestMitigateExpectationValidation(t *testing.T) {
+	m := core.NewMachine(device.IBMQX2())
+	c := kernels.GHZ(3)
+	obs := func(b bitstring.Bits) float64 { return 0 }
+	if _, err := MitigateExpectation(c, m, obs, []int{1}, 100, 1); err == nil {
+		t.Error("single factor accepted")
+	}
+	if _, err := MitigateExpectation(c, m, obs, []int{1, 3}, 0, 1); err == nil {
+		t.Error("zero shots accepted")
+	}
+	if _, err := MitigateExpectation(c, m, obs, []int{1, 2}, 100, 1); err == nil {
+		t.Error("even factor accepted")
+	}
+}

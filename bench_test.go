@@ -15,6 +15,7 @@
 package biasmit
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -42,7 +43,7 @@ func benchCfg(i int) experiments.Config {
 
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure1(benchCfg(i))
+		r, err := experiments.Figure1(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func BenchmarkFigure1(b *testing.B) {
 
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table1(benchCfg(i))
+		r, err := experiments.Table1(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func BenchmarkTable1(b *testing.B) {
 
 func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure3(benchCfg(i))
+		r, err := experiments.Figure3(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func BenchmarkFigure3(b *testing.B) {
 
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure4(benchCfg(i))
+		r, err := experiments.Figure4(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +98,7 @@ func BenchmarkFigure4(b *testing.B) {
 
 func BenchmarkFigure5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure5(benchCfg(i))
+		r, err := experiments.Figure5(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,7 +110,7 @@ func BenchmarkFigure5(b *testing.B) {
 
 func BenchmarkFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure6(benchCfg(i))
+		r, err := experiments.Figure6(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +122,7 @@ func BenchmarkFigure6(b *testing.B) {
 
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table2(benchCfg(i))
+		r, err := experiments.Table2(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func BenchmarkFigure7(b *testing.B) {
 
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure9(benchCfg(i))
+		r, err := experiments.Figure9(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,7 +158,7 @@ func BenchmarkFigure9(b *testing.B) {
 // evaluation of the full benchmark suite under all three policies).
 func BenchmarkSuite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunSuite(benchCfg(i))
+		r, err := experiments.RunSuite(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,7 +172,7 @@ func BenchmarkSuite(b *testing.B) {
 
 func BenchmarkFigure11(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure11(benchCfg(i))
+		r, err := experiments.Figure11(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -184,7 +185,7 @@ func BenchmarkFigure11(b *testing.B) {
 
 func BenchmarkFigure13(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure13(benchCfg(i))
+		r, err := experiments.Figure13(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -198,7 +199,7 @@ func BenchmarkFigure13(b *testing.B) {
 
 func BenchmarkFigure15(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure15(benchCfg(i))
+		r, err := experiments.Figure15(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -421,7 +422,7 @@ func name(prefix string, v int) string {
 // experiment across calibration cycles.
 func BenchmarkRepeatability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Repeatability(benchCfg(i))
+		r, err := experiments.Repeatability(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -436,7 +437,7 @@ func BenchmarkRepeatability(b *testing.B) {
 // Invert-and-Measure vs confusion-matrix mitigation.
 func BenchmarkMitigationComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.MitigationComparison(benchCfg(i))
+		r, err := experiments.MitigationComparison(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -526,7 +527,7 @@ func circuitForDensityBench() *circuit.Circuit {
 // allocation (the paper's baseline assumption, refs [26, 28]).
 func BenchmarkAblationAllocation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.AllocationComparison(benchCfg(i))
+		r, err := experiments.AllocationComparison(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -541,7 +542,7 @@ func BenchmarkAblationAllocation(b *testing.B) {
 // decoherence on the GHZ bias probe.
 func BenchmarkAblationSchedule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.ScheduleAblation(benchCfg(i))
+		r, err := experiments.ScheduleAblation(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -591,11 +592,29 @@ func BenchmarkParallelBackend(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelSuite measures the orchestration speedup on the full
+// benchmark suite (12 machine × benchmark cells fanned out on the job
+// pool). Results are bit-identical across worker counts; only
+// wall-clock changes.
+func BenchmarkParallelSuite(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(name("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(i)
+				cfg.Workers = workers
+				if _, err := experiments.RunSuite(context.Background(), cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkScaling runs the mitigation stack on the synthetic 16-qubit
 // machine (AWCT profiling + AIM + reduced matrix correction).
 func BenchmarkScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Scaling(benchCfg(i))
+		r, err := experiments.Scaling(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -609,7 +628,7 @@ func BenchmarkScaling(b *testing.B) {
 // composition experiment (ZNE, SIM, and both).
 func BenchmarkZNEComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.ZNEComparison(benchCfg(i))
+		r, err := experiments.ZNEComparison(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -623,7 +642,7 @@ func BenchmarkZNEComparison(b *testing.B) {
 // BenchmarkFigure8 regenerates the SIM mode-count comparison of Fig 8.
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure8(benchCfg(i))
+		r, err := experiments.Figure8(context.Background(), benchCfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}

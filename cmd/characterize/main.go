@@ -9,12 +9,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"biasmit/internal/bitstring"
 	"biasmit/internal/core"
@@ -37,7 +40,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "", "save the learned profile to this file (JSON)")
 	crosstalk := flag.Bool("crosstalk", false, "also measure the readout-crosstalk matrix")
+	workers := flag.Int("workers", 0, "independent circuit executions run concurrently (0 = all CPUs, 1 = sequential; results are identical either way)")
+	timeout := flag.Duration("timeout", time.Duration(0), "abort after this duration (0 = no limit)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	dev, ok := device.ByName(*machineName)
 	if !ok {
@@ -70,18 +83,20 @@ func main() {
 		}
 	}
 
-	prof := &core.Profiler{Machine: core.NewMachine(dev), Layout: layout}
+	m := core.NewMachine(dev)
+	m.Workers = *workers
+	prof := &core.Profiler{Machine: m, Layout: layout}
 	var (
 		rbms core.RBMS
 		err  error
 	)
 	switch *method {
 	case "brute":
-		rbms, err = prof.BruteForce(*shots, *seed)
+		rbms, err = prof.BruteForceContext(ctx, *shots, *seed)
 	case "esct":
-		rbms, err = prof.ESCT(*shots, *seed)
+		rbms, err = prof.ESCTContext(ctx, *shots, *seed)
 	case "awct":
-		rbms, err = prof.AWCT(*window, *overlap, *shots, *seed)
+		rbms, err = prof.AWCTContext(ctx, *window, *overlap, *shots, *seed)
 	default:
 		log.Fatalf("unknown method %q", *method)
 	}

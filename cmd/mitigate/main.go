@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"biasmit/internal/bitstring"
 	"biasmit/internal/core"
@@ -38,7 +40,17 @@ func main() {
 	k := flag.Int("k", 4, "AIM adaptive string count")
 	profileShots := flag.Int("profile-shots", 4096, "RBMS profiling trials per state/window")
 	profileFile := flag.String("profile", "", "load a saved RBMS profile (from characterize -out) instead of profiling")
+	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical either way)")
+	timeout := flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	dev, ok := device.ByName(*machineName)
 	if !ok {
@@ -50,6 +62,7 @@ func main() {
 	}
 
 	m := core.NewMachine(dev)
+	m.Workers = *workers
 	job, err := core.NewJob(bench.Circuit, m)
 	if err != nil {
 		log.Fatal(err)
@@ -57,7 +70,7 @@ func main() {
 	fmt.Printf("%s on %s: %d qubits, layout %v, %d swaps, %d trials/policy\n\n",
 		bench.Name, dev.Name, bench.Width(), job.Plan.InitialLayout, job.Plan.SwapCount, *shots)
 
-	base, err := job.Baseline(*shots, *seed+1)
+	base, err := job.BaselineContext(ctx, *shots, *seed+1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +78,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim, err := core.SIM(job, strings, *shots, *seed+2)
+	sim, err := core.SIMContext(ctx, job, strings, *shots, *seed+2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,15 +105,15 @@ func main() {
 	} else {
 		prof := job.Profiler()
 		if bench.Width() <= 5 {
-			rbms, err = prof.BruteForce(*profileShots, *seed+3)
+			rbms, err = prof.BruteForceContext(ctx, *profileShots, *seed+3)
 		} else {
-			rbms, err = prof.AWCT(4, 2, *profileShots*4, *seed+3)
+			rbms, err = prof.AWCTContext(ctx, 4, 2, *profileShots*4, *seed+3)
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	aim, err := core.AIM(job, rbms, core.AIMConfig{CanaryFraction: *canary, K: *k}, *shots, *seed+4)
+	aim, err := core.AIMContext(ctx, job, rbms, core.AIMConfig{CanaryFraction: *canary, K: *k}, *shots, *seed+4)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -27,9 +30,19 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "fraction of the paper's trial counts")
 	seed := flag.Int64("seed", 2019, "random seed")
 	only := flag.String("only", "", "comma-separated subset: fig1,tab1,fig3,fig4,fig5,fig6,tab2,tab3,fig7,fig8,fig9,suite,fig11,fig13,fig15,repeat,ext,alloc,sched,scale,zne (suite = fig10+fig14+tab5)")
+	workers := flag.Int("workers", 0, "independent circuit executions run concurrently (0 = all CPUs, 1 = sequential; results are identical either way)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}
 	selected := map[string]bool{}
 	if *only != "" {
 		for _, name := range strings.Split(*only, ",") {
@@ -51,31 +64,31 @@ func main() {
 	}
 
 	run("fig1", "Invert-and-Measure on IBM-Q5 (motivating example)", func() (string, error) {
-		r, err := experiments.Figure1(cfg)
+		r, err := experiments.Figure1(ctx, cfg)
 		return r.Render(), err
 	})
 	run("tab1", "measurement error rates per machine", func() (string, error) {
-		r, err := experiments.Table1(cfg)
+		r, err := experiments.Table1(ctx, cfg)
 		return r.Render(), err
 	})
 	run("fig3", "impact of errors on BV-2 output", func() (string, error) {
-		r, err := experiments.Figure3(cfg)
+		r, err := experiments.Figure3(ctx, cfg)
 		return r.Render(), err
 	})
 	run("fig4", "ibmqx2 relative BMS, direct vs equal superposition", func() (string, error) {
-		r, err := experiments.Figure4(cfg)
+		r, err := experiments.Figure4(ctx, cfg)
 		return r.Render(), err
 	})
 	run("fig5", "melbourne relative BMS by Hamming weight (10 qubits)", func() (string, error) {
-		r, err := experiments.Figure5(cfg)
+		r, err := experiments.Figure5(ctx, cfg)
 		return r.Render(), err
 	})
 	run("fig6", "GHZ-5 output distribution on melbourne", func() (string, error) {
-		r, err := experiments.Figure6(cfg)
+		r, err := experiments.Figure6(ctx, cfg)
 		return r.Render(), err
 	})
 	run("tab2", "impact of measurement bias on QAOA (graphs A-E)", func() (string, error) {
-		r, err := experiments.Table2(cfg)
+		r, err := experiments.Table2(ctx, cfg)
 		return r.Render(), err
 	})
 	run("tab3", "benchmark characteristics", func() (string, error) {
@@ -85,16 +98,16 @@ func main() {
 		return experiments.Figure7(cfg).Render(), nil
 	})
 	run("fig8", "SIM mode-count comparison on a mid-weight state", func() (string, error) {
-		r, err := experiments.Figure8(cfg)
+		r, err := experiments.Figure8(ctx, cfg)
 		return r.Render(), err
 	})
 	run("fig9", "QAOA graph-D on melbourne: baseline vs SIM", func() (string, error) {
-		r, err := experiments.Figure9(cfg)
+		r, err := experiments.Figure9(ctx, cfg)
 		return r.Render(), err
 	})
 	if want("suite") || want("fig10") || want("fig14") || want("tab5") {
 		start := time.Now()
-		suite, err := experiments.RunSuite(cfg)
+		suite, err := experiments.RunSuite(ctx, cfg)
 		if err != nil {
 			log.Fatalf("suite: %v", err)
 		}
@@ -106,39 +119,39 @@ func main() {
 		fmt.Printf("mean PST improvement: SIM %.2fx, AIM %.2fx (paper: up to 2X and 3X)\n\n", sim, aim)
 	}
 	run("fig11", "ibmqx4 arbitrary bias and its effect on BV", func() (string, error) {
-		r, err := experiments.Figure11(cfg)
+		r, err := experiments.Figure11(ctx, cfg)
 		return r.Render(), err
 	})
 	run("fig13", "BV on ibmqx4 for all keys: baseline vs SIM vs AIM", func() (string, error) {
-		r, err := experiments.Figure13(cfg)
+		r, err := experiments.Figure13(ctx, cfg)
 		return r.Render(), err
 	})
 	run("fig15", "RBMS characterization validation (direct/ESCT/AWCT)", func() (string, error) {
-		r, err := experiments.Figure15(cfg)
+		r, err := experiments.Figure15(ctx, cfg)
 		return r.Render(), err
 	})
 	run("repeat", "bias repeatability across calibration cycles (§6.1)", func() (string, error) {
-		r, err := experiments.Repeatability(cfg)
+		r, err := experiments.Repeatability(ctx, cfg)
 		return r.Render(), err
 	})
 	run("ext", "extension: Invert-and-Measure vs confusion-matrix mitigation", func() (string, error) {
-		r, err := experiments.MitigationComparison(cfg)
+		r, err := experiments.MitigationComparison(ctx, cfg)
 		return r.Render(), err
 	})
 	run("alloc", "ablation: naive vs variability-aware qubit allocation", func() (string, error) {
-		r, err := experiments.AllocationComparison(cfg)
+		r, err := experiments.AllocationComparison(ctx, cfg)
 		return r.Render(), err
 	})
 	run("sched", "ablation: gate-time vs schedule-aware decoherence", func() (string, error) {
-		r, err := experiments.ScheduleAblation(cfg)
+		r, err := experiments.ScheduleAblation(ctx, cfg)
 		return r.Render(), err
 	})
 	run("scale", "scaling: mitigation stack on a synthetic 16-qubit machine", func() (string, error) {
-		r, err := experiments.Scaling(cfg)
+		r, err := experiments.Scaling(ctx, cfg)
 		return r.Render(), err
 	})
 	run("zne", "extension: zero-noise extrapolation composed with SIM", func() (string, error) {
-		r, err := experiments.ZNEComparison(cfg)
+		r, err := experiments.ZNEComparison(ctx, cfg)
 		return r.Render(), err
 	})
 }

@@ -18,6 +18,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -26,9 +27,55 @@ import (
 	"biasmit/internal/device"
 	"biasmit/internal/dist"
 	"biasmit/internal/noise"
+	"biasmit/internal/orchestrate"
 	"biasmit/internal/quantum"
 	"biasmit/internal/schedule"
 )
+
+// MaxShots caps a single run's trial budget. SIM/AIM callers multiply
+// per-group budgets by group counts (and experiment drivers multiply by
+// scale factors); without a ceiling those products can overflow int and
+// wrap silently. Budgets outside (0, MaxShots] are rejected with a
+// *BudgetError.
+const MaxShots = 1 << 40
+
+// BudgetError reports a shot budget outside (0, MaxShots] — typically
+// the result of an overflowing budget multiplication in a caller.
+type BudgetError struct {
+	// Shots is the offending budget. A negative value either arrived
+	// negative (a wrapped multiplication) or marks a product that
+	// MulShots refused to compute because it would overflow.
+	Shots int
+}
+
+func (e *BudgetError) Error() string {
+	if e.Shots <= 0 {
+		return fmt.Sprintf("backend: shot budget %d is not positive (overflowing multiplication?)", e.Shots)
+	}
+	return fmt.Sprintf("backend: shot budget %d exceeds the %d maximum", e.Shots, MaxShots)
+}
+
+// CheckShots validates a trial budget, returning a *BudgetError when it
+// lies outside (0, MaxShots].
+func CheckShots(shots int) error {
+	if shots <= 0 || shots > MaxShots {
+		return &BudgetError{Shots: shots}
+	}
+	return nil
+}
+
+// MulShots multiplies a per-group budget by a group count with overflow
+// checking — the guard SIM/AIM-style callers need before fanning a
+// budget out. The product is validated against MaxShots.
+func MulShots(shots, groups int) (int, error) {
+	if shots <= 0 {
+		return 0, &BudgetError{Shots: shots}
+	}
+	if groups <= 0 || shots > MaxShots/groups {
+		return 0, &BudgetError{Shots: -1}
+	}
+	return shots * groups, nil
+}
 
 // Options configures a backend run.
 type Options struct {
@@ -83,12 +130,19 @@ func (o Options) withDefaults(numQubits int) Options {
 // two-qubit gate must act on a coupled pair (use internal/transpile to
 // map logical circuits first).
 func Run(c *circuit.Circuit, dev *device.Device, opt Options) (*dist.Counts, error) {
+	return RunContext(context.Background(), c, dev, opt)
+}
+
+// RunContext is Run with cancellation: the trial loop checks ctx between
+// trajectory batches (and between parallel worker chunks), so a
+// long-running job stops within one batch of a cancellation or timeout.
+func RunContext(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt Options) (*dist.Counts, error) {
 	if c.NumQubits != dev.NumQubits {
 		return nil, fmt.Errorf("backend: circuit register %d does not match device %s with %d qubits",
 			c.NumQubits, dev.Name, dev.NumQubits)
 	}
-	if opt.Shots <= 0 {
-		return nil, fmt.Errorf("backend: shots must be positive, got %d", opt.Shots)
+	if err := CheckShots(opt.Shots); err != nil {
+		return nil, err
 	}
 	if err := checkConnectivity(c, dev); err != nil {
 		return nil, err
@@ -96,8 +150,6 @@ func Run(c *circuit.Circuit, dev *device.Device, opt Options) (*dist.Counts, err
 	opt = opt.withDefaults(dev.NumQubits)
 
 	readout := dev.ReadoutModel()
-	rng := rand.New(rand.NewSource(opt.Seed))
-	counts := dist.NewCounts(dev.NumQubits)
 
 	var idle *idlePlan
 	if opt.ScheduleAwareDecay && !opt.NoDecay {
@@ -109,17 +161,25 @@ func Run(c *circuit.Circuit, dev *device.Device, opt Options) (*dist.Counts, err
 	}
 
 	if opt.Workers > 1 {
-		return runParallel(c, dev, opt, idle, readout)
+		return runParallel(ctx, c, dev, opt, idle, readout)
 	}
-	runShots(c, dev, opt, idle, readout, opt.Shots, rng, counts)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	counts := dist.NewCounts(dev.NumQubits)
+	if err := runShots(ctx, c, dev, opt, idle, readout, opt.Shots, rng, counts); err != nil {
+		return nil, err
+	}
 	return counts, nil
 }
 
-// runShots executes the trial loop sequentially into counts.
-func runShots(c *circuit.Circuit, dev *device.Device, opt Options, idle *idlePlan,
-	readout *noise.ReadoutModel, shots int, rng *rand.Rand, counts *dist.Counts) {
+// runShots executes the trial loop sequentially into counts, stopping
+// between trajectory batches if ctx ends.
+func runShots(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt Options, idle *idlePlan,
+	readout *noise.ReadoutModel, shots int, rng *rand.Rand, counts *dist.Counts) error {
 	remaining := shots
 	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		batch := opt.ShotsPerTrajectory
 		if batch > remaining {
 			batch = remaining
@@ -134,13 +194,14 @@ func runShots(c *circuit.Circuit, dev *device.Device, opt Options, idle *idlePla
 		}
 		remaining -= batch
 	}
+	return nil
 }
 
 // runParallel fans the trial budget out across opt.Workers goroutines,
 // each with a seed derived from (opt.Seed, worker index), and merges the
 // per-worker histograms in worker order so the result is a pure function
 // of (circuit, device, options).
-func runParallel(c *circuit.Circuit, dev *device.Device, opt Options,
+func runParallel(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt Options,
 	idle *idlePlan, readout *noise.ReadoutModel) (*dist.Counts, error) {
 	workers := opt.Workers
 	if workers > opt.Shots {
@@ -148,40 +209,30 @@ func runParallel(c *circuit.Circuit, dev *device.Device, opt Options,
 	}
 	chunk := opt.Shots / workers
 	rem := opt.Shots % workers
-	partial := make([]*dist.Counts, workers)
-	done := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		shots := chunk
+	shotsFor := make([]int, workers)
+	for w := range shotsFor {
+		shotsFor[w] = chunk
 		if w < rem {
-			shots++
+			shotsFor[w]++
 		}
-		go func(w, shots int) {
-			local := dist.NewCounts(dev.NumQubits)
-			rng := rand.New(rand.NewSource(workerSeed(opt.Seed, w)))
-			runShots(c, dev, opt, idle, readout, shots, rng, local)
-			partial[w] = local
-			done <- w
-		}(w, shots)
 	}
-	for w := 0; w < workers; w++ {
-		<-done
+	partial, err := orchestrate.Map(ctx, workers, shotsFor,
+		func(ctx context.Context, w, shots int) (*dist.Counts, error) {
+			local := dist.NewCounts(dev.NumQubits)
+			rng := rand.New(rand.NewSource(orchestrate.DeriveSeed(opt.Seed, w)))
+			if err := runShots(ctx, c, dev, opt, idle, readout, shots, rng, local); err != nil {
+				return nil, err
+			}
+			return local, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	counts := dist.NewCounts(dev.NumQubits)
 	for _, p := range partial {
 		counts.Merge(p)
 	}
 	return counts, nil
-}
-
-// workerSeed derives decorrelated per-worker seeds (splitmix64 step).
-func workerSeed(seed int64, worker int) int64 {
-	x := uint64(seed) + 0x9E3779B97F4A7C15*uint64(worker+1)
-	x ^= x >> 30
-	x *= 0xBF58476D1CE4E5B9
-	x ^= x >> 27
-	x *= 0x94D049BB133111EB
-	x ^= x >> 31
-	return int64(x & (1<<63 - 1))
 }
 
 // idlePlan holds the precomputed schedule gaps for schedule-aware decay.

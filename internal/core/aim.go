@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"biasmit/internal/bitstring"
 	"biasmit/internal/dist"
+	"biasmit/internal/orchestrate"
 )
 
 // AIMConfig tunes Adaptive Invert-and-Measure. The zero value is
@@ -184,6 +186,12 @@ func topKByLikelihood(l map[bitstring.Bits]float64, k int) []bitstring.Bits {
 // once per machine in practice; pair with internal/persist to reuse a
 // saved profile instead.
 func AutoAIM(j *Job, cfg AIMConfig, profileShots, shots int, seed int64) (*AIMResult, RBMS, error) {
+	return AutoAIMContext(context.Background(), j, cfg, profileShots, shots, seed)
+}
+
+// AutoAIMContext is AutoAIM with cancellation; profiling and both AIM
+// phases stop promptly when ctx ends.
+func AutoAIMContext(ctx context.Context, j *Job, cfg AIMConfig, profileShots, shots int, seed int64) (*AIMResult, RBMS, error) {
 	if profileShots <= 0 {
 		return nil, RBMS{}, fmt.Errorf("core: profileShots must be positive")
 	}
@@ -191,14 +199,14 @@ func AutoAIM(j *Job, cfg AIMConfig, profileShots, shots int, seed int64) (*AIMRe
 	var rbms RBMS
 	var err error
 	if j.Width() <= 5 {
-		rbms, err = prof.BruteForce(profileShots, deriveSeed(seed, 6000))
+		rbms, err = prof.BruteForceContext(ctx, profileShots, deriveSeed(seed, 6000))
 	} else {
-		rbms, err = prof.AWCT(4, 2, profileShots, deriveSeed(seed, 6000))
+		rbms, err = prof.AWCTContext(ctx, 4, 2, profileShots, deriveSeed(seed, 6000))
 	}
 	if err != nil {
 		return nil, RBMS{}, fmt.Errorf("core: AutoAIM profiling: %w", err)
 	}
-	res, err := AIM(j, rbms, cfg, shots, seed)
+	res, err := AIMContext(ctx, j, rbms, cfg, shots, seed)
 	if err != nil {
 		return nil, RBMS{}, err
 	}
@@ -218,6 +226,15 @@ func AutoAIM(j *Job, cfg AIMConfig, profileShots, shots int, seed int64) (*AIMRe
 // All phases' corrected histograms merge into the final output log; the
 // total trial count equals the baseline's, as in the paper.
 func AIM(j *Job, rbms RBMS, cfg AIMConfig, shots int, seed int64) (*AIMResult, error) {
+	return AIMContext(context.Background(), j, rbms, cfg, shots, seed)
+}
+
+// AIMContext is AIM with cancellation. The canary phase runs as a
+// (possibly parallel) SIMContext; the adaptive phase's tailored modes are
+// independent jobs run on Machine.Workers goroutines, with each mode's
+// seed derived from (seed, mode index) and histograms merged in mode
+// order — bit-identical at every worker count.
+func AIMContext(ctx context.Context, j *Job, rbms RBMS, cfg AIMConfig, shots int, seed int64) (*AIMResult, error) {
 	cfg, err := cfg.withDefaults(j.Width())
 	if err != nil {
 		return nil, err
@@ -234,7 +251,7 @@ func AIM(j *Job, rbms RBMS, cfg AIMConfig, shots int, seed int64) (*AIMResult, e
 		return nil, fmt.Errorf("core: %d adaptive shots cannot cover K=%d", adaptiveShots, cfg.K)
 	}
 
-	canary, err := SIM(j, cfg.CanaryStrings, canaryShots, deriveSeed(seed, 1000))
+	canary, err := SIMContext(ctx, j, cfg.CanaryStrings, canaryShots, deriveSeed(seed, 1000))
 	if err != nil {
 		return nil, fmt.Errorf("core: AIM canary phase: %w", err)
 	}
@@ -272,16 +289,25 @@ func AIM(j *Job, rbms RBMS, cfg AIMConfig, shots int, seed int64) (*AIMResult, e
 		}
 		allocation = splitShotsWeighted(adaptiveShots, weights)
 	}
-	for i, n := range allocation {
-		if n == 0 {
-			continue
+	adaptive, err := orchestrate.Map(ctx, j.Machine.workers(), allocation,
+		func(ctx context.Context, i, n int) (*dist.Counts, error) {
+			if n == 0 {
+				return nil, nil
+			}
+			cand := res.Candidates[i]
+			counts, err := j.RunWithInversionContext(ctx, cand.Inversion, n, deriveSeed(seed, 2000+i))
+			if err != nil {
+				return nil, fmt.Errorf("core: AIM adaptive mode %v: %w", cand.Inversion, err)
+			}
+			return counts, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, counts := range adaptive {
+		if counts != nil {
+			res.Merged.Merge(counts)
 		}
-		cand := res.Candidates[i]
-		counts, err := j.RunWithInversion(cand.Inversion, n, deriveSeed(seed, 2000+i))
-		if err != nil {
-			return nil, fmt.Errorf("core: AIM adaptive mode %v: %w", cand.Inversion, err)
-		}
-		res.Merged.Merge(counts)
 	}
 	return res, nil
 }

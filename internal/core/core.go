@@ -25,6 +25,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"biasmit/internal/backend"
@@ -32,6 +33,7 @@ import (
 	"biasmit/internal/circuit"
 	"biasmit/internal/device"
 	"biasmit/internal/dist"
+	"biasmit/internal/orchestrate"
 	"biasmit/internal/transpile"
 )
 
@@ -41,7 +43,18 @@ import (
 type Machine struct {
 	Device *device.Device
 	Opt    backend.Options
+	// Workers bounds how many independent circuit executions (SIM/AIM
+	// groups, profiler state preparations, AWCT windows) run
+	// concurrently on this machine. Zero selects GOMAXPROCS; one forces
+	// sequential execution. Because every group's seed is derived from
+	// (base seed, group index) before submission, results are
+	// bit-identical across worker counts — unlike Opt.Workers, which
+	// repartitions the random streams inside a single run.
+	Workers int
 }
+
+// workers resolves the job-level parallelism for this machine.
+func (m *Machine) workers() int { return orchestrate.Workers(m.Workers) }
 
 // NewMachine returns a Machine with default (fully noisy) options.
 func NewMachine(dev *device.Device) *Machine {
@@ -85,13 +98,19 @@ func (j *Job) Width() int { return j.width }
 // post-corrected logical histogram. The all-zeros string is the paper's
 // standard mode; all-ones is the fully inverted mode.
 func (j *Job) RunWithInversion(s bitstring.Bits, shots int, seed int64) (*dist.Counts, error) {
+	return j.RunWithInversionContext(context.Background(), s, shots, seed)
+}
+
+// RunWithInversionContext is RunWithInversion with cancellation: the
+// backend trial loop stops within one trajectory batch of ctx ending.
+func (j *Job) RunWithInversionContext(ctx context.Context, s bitstring.Bits, shots int, seed int64) (*dist.Counts, error) {
 	if s.Width() != j.width {
 		return nil, fmt.Errorf("core: inversion string width %d for %d-qubit job", s.Width(), j.width)
 	}
 	opt := j.Machine.Opt
 	opt.Shots = shots
 	opt.Seed = seed
-	raw, err := backend.Run(j.Plan.WithInversion(s), j.Machine.Device, opt)
+	raw, err := backend.RunContext(ctx, j.Plan.WithInversion(s), j.Machine.Device, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -102,6 +121,11 @@ func (j *Job) RunWithInversion(s bitstring.Bits, shots int, seed int64) (*dist.C
 // policy with variability-aware allocation.
 func (j *Job) Baseline(shots int, seed int64) (*dist.Counts, error) {
 	return j.RunWithInversion(bitstring.Zeros(j.width), shots, seed)
+}
+
+// BaselineContext is Baseline with cancellation.
+func (j *Job) BaselineContext(ctx context.Context, shots int, seed int64) (*dist.Counts, error) {
+	return j.RunWithInversionContext(ctx, bitstring.Zeros(j.width), shots, seed)
 }
 
 // splitShots divides a trial budget into n nearly equal groups, giving
@@ -119,7 +143,10 @@ func splitShots(shots, n int) []int {
 }
 
 // deriveSeed spreads per-group seeds so groups are decorrelated but the
-// whole experiment stays a pure function of the caller's seed.
+// whole experiment stays a pure function of the caller's seed. It
+// predates orchestrate.DeriveSeed and intentionally keeps its original
+// (truncated-splitmix) form: changing it would shift every published
+// per-group random stream in this repo.
 func deriveSeed(seed int64, group int) int64 {
 	x := uint64(seed) + 0x9E3779B97F4A7C15*uint64(group+1)
 	x ^= x >> 30

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"biasmit/internal/backend"
 	"biasmit/internal/bitstring"
 	"biasmit/internal/kernels"
 	"biasmit/internal/metrics"
+	"biasmit/internal/orchestrate"
 )
 
 // RBMS is the Relative Basis Measurement Strength function of a logical
@@ -109,24 +112,35 @@ func (p *Profiler) width() int { return len(p.Layout) }
 // prepare b, measure, and count exact matches. Cost grows as O(2^n)
 // preparations, which is why the paper reserves it for 5-qubit machines.
 func (p *Profiler) BruteForce(shotsPerState int, seed int64) (RBMS, error) {
+	return p.BruteForceContext(context.Background(), shotsPerState, seed)
+}
+
+// BruteForceContext is BruteForce with cancellation. The 2^n basis-state
+// preparations are independent jobs and run on Machine.Workers
+// goroutines; each state's seed is derived from (seed, state), so the
+// profile is bit-identical at every worker count.
+func (p *Profiler) BruteForceContext(ctx context.Context, shotsPerState int, seed int64) (RBMS, error) {
 	n := p.width()
 	if n > 16 {
 		return RBMS{}, fmt.Errorf("core: brute-force characterization of %d qubits is intractable", n)
 	}
-	if shotsPerState <= 0 {
-		return RBMS{}, fmt.Errorf("core: shotsPerState must be positive")
+	if _, err := backend.MulShots(shotsPerState, 1<<uint(n)); err != nil {
+		return RBMS{}, fmt.Errorf("core: brute-force budget (%d shots × %d states): %w", shotsPerState, 1<<uint(n), err)
 	}
-	strength := make([]float64, 1<<uint(n))
-	for _, b := range bitstring.All(n) {
-		job, err := NewJobWithLayout(kernels.BasisPrep(b), p.Machine, p.Layout)
-		if err != nil {
-			return RBMS{}, err
-		}
-		counts, err := job.Baseline(shotsPerState, deriveSeed(seed, int(b.Uint64())))
-		if err != nil {
-			return RBMS{}, err
-		}
-		strength[b.Uint64()] = float64(counts.Get(b)) / float64(shotsPerState)
+	strength, err := orchestrate.Map(ctx, p.Machine.workers(), bitstring.All(n),
+		func(ctx context.Context, _ int, b bitstring.Bits) (float64, error) {
+			job, err := NewJobWithLayout(kernels.BasisPrep(b), p.Machine, p.Layout)
+			if err != nil {
+				return 0, err
+			}
+			counts, err := job.BaselineContext(ctx, shotsPerState, deriveSeed(seed, int(b.Uint64())))
+			if err != nil {
+				return 0, err
+			}
+			return float64(counts.Get(b)) / float64(shotsPerState), nil
+		})
+	if err != nil {
+		return RBMS{}, err
 	}
 	return NewRBMS(n, strength)
 }
@@ -137,15 +151,20 @@ func (p *Profiler) BruteForce(shotsPerState int, seed int64) (RBMS, error) {
 // states, at the cost of a small cross-talk floor from misreads of
 // neighbouring states.
 func (p *Profiler) ESCT(totalShots int, seed int64) (RBMS, error) {
+	return p.ESCTContext(context.Background(), totalShots, seed)
+}
+
+// ESCTContext is ESCT with cancellation.
+func (p *Profiler) ESCTContext(ctx context.Context, totalShots int, seed int64) (RBMS, error) {
 	n := p.width()
-	if totalShots <= 0 {
-		return RBMS{}, fmt.Errorf("core: totalShots must be positive")
+	if err := backend.CheckShots(totalShots); err != nil {
+		return RBMS{}, fmt.Errorf("core: ESCT budget: %w", err)
 	}
 	job, err := NewJobWithLayout(kernels.UniformSuperposition(n), p.Machine, p.Layout)
 	if err != nil {
 		return RBMS{}, err
 	}
-	counts, err := job.Baseline(totalShots, seed)
+	counts, err := job.BaselineContext(ctx, totalShots, seed)
 	if err != nil {
 		return RBMS{}, err
 	}
@@ -166,6 +185,14 @@ func (p *Profiler) ESCT(totalShots int, seed int64) (RBMS, error) {
 // strengths minus the overlap marginals, which double-counted the shared
 // qubits.
 func (p *Profiler) AWCT(windowSize, overlap, shotsPerWindow int, seed int64) (RBMS, error) {
+	return p.AWCTContext(context.Background(), windowSize, overlap, shotsPerWindow, seed)
+}
+
+// AWCTContext is AWCT with cancellation. The sliding windows are
+// independent jobs and run on Machine.Workers goroutines; each window's
+// seed is derived from (seed, window start), so the stitched profile is
+// bit-identical at every worker count.
+func (p *Profiler) AWCTContext(ctx context.Context, windowSize, overlap, shotsPerWindow int, seed int64) (RBMS, error) {
 	n := p.width()
 	if windowSize < 2 || windowSize > n {
 		return RBMS{}, fmt.Errorf("core: window size %d out of range [2,%d]", windowSize, n)
@@ -173,33 +200,38 @@ func (p *Profiler) AWCT(windowSize, overlap, shotsPerWindow int, seed int64) (RB
 	if overlap < 0 || overlap >= windowSize {
 		return RBMS{}, fmt.Errorf("core: overlap %d out of range [0,%d)", overlap, windowSize)
 	}
-	if shotsPerWindow <= 0 {
-		return RBMS{}, fmt.Errorf("core: shotsPerWindow must be positive")
-	}
 	step := windowSize - overlap
 	if step == 0 {
 		return RBMS{}, fmt.Errorf("core: zero window step")
+	}
+	var starts []int
+	for start := 0; ; start += step {
+		if start+windowSize > n {
+			start = n - windowSize // clamp the final window to the register end
+		}
+		starts = append(starts, start)
+		if start+windowSize >= n {
+			break
+		}
+	}
+	if _, err := backend.MulShots(shotsPerWindow, len(starts)); err != nil {
+		return RBMS{}, fmt.Errorf("core: AWCT budget (%d shots × %d windows): %w", shotsPerWindow, len(starts), err)
 	}
 
 	type window struct {
 		start, size int
 		freq        []float64 // per window-pattern relative frequency
 	}
-	var windows []window
-	for start := 0; ; start += step {
-		if start+windowSize > n {
-			start = n - windowSize // clamp the final window to the register end
-		}
-		w := window{start: start, size: windowSize}
-		counts, err := p.windowESCT(start, windowSize, shotsPerWindow, deriveSeed(seed, start))
-		if err != nil {
-			return RBMS{}, err
-		}
-		w.freq = counts
-		windows = append(windows, w)
-		if start+windowSize >= n {
-			break
-		}
+	windows, err := orchestrate.Map(ctx, p.Machine.workers(), starts,
+		func(ctx context.Context, _, start int) (window, error) {
+			freq, err := p.windowESCT(ctx, start, windowSize, shotsPerWindow, deriveSeed(seed, start))
+			if err != nil {
+				return window{}, err
+			}
+			return window{start: start, size: windowSize, freq: freq}, nil
+		})
+	if err != nil {
+		return RBMS{}, err
 	}
 
 	// Log-space stitch with floors against unobserved patterns.
@@ -240,7 +272,7 @@ func (p *Profiler) AWCT(windowSize, overlap, shotsPerWindow int, seed int64) (RB
 // windowESCT runs a uniform superposition over logical bits
 // [start, start+size) (other logical bits held at |0⟩) and returns the
 // relative frequency of each window pattern.
-func (p *Profiler) windowESCT(start, size, shots int, seed int64) ([]float64, error) {
+func (p *Profiler) windowESCT(ctx context.Context, start, size, shots int, seed int64) ([]float64, error) {
 	n := p.width()
 	// Superposition only over the window qubits; the rest stay |0⟩.
 	c := kernels.BasisPrep(bitstring.Zeros(n))
@@ -252,7 +284,7 @@ func (p *Profiler) windowESCT(start, size, shots int, seed int64) ([]float64, er
 	if err != nil {
 		return nil, err
 	}
-	counts, err := job.Baseline(shots, seed)
+	counts, err := job.BaselineContext(ctx, shots, seed)
 	if err != nil {
 		return nil, err
 	}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"biasmit/internal/bitstring"
 	"biasmit/internal/dist"
+	"biasmit/internal/orchestrate"
 )
 
 // StandardInversionStrings returns the static inversion-string set the
@@ -55,6 +57,15 @@ type SIMResult struct {
 // string applied before measurement and XOR-corrected afterwards; the
 // corrected histograms are merged into one output log (paper Fig 7).
 func SIM(j *Job, strings []bitstring.Bits, shots int, seed int64) (*SIMResult, error) {
+	return SIMContext(context.Background(), j, strings, shots, seed)
+}
+
+// SIMContext is SIM with cancellation. The inversion groups are
+// independent jobs and run on Machine.Workers goroutines; each group's
+// seed is derived from (seed, group index) and the per-group histograms
+// merge in group order, so the result is bit-identical at every worker
+// count.
+func SIMContext(ctx context.Context, j *Job, strings []bitstring.Bits, shots int, seed int64) (*SIMResult, error) {
 	if len(strings) == 0 {
 		return nil, fmt.Errorf("core: SIM needs at least one inversion string")
 	}
@@ -65,12 +76,19 @@ func SIM(j *Job, strings []bitstring.Bits, shots int, seed int64) (*SIMResult, e
 		Merged:  dist.NewCounts(j.Width()),
 		Strings: append([]bitstring.Bits(nil), strings...),
 	}
-	for i, n := range splitShots(shots, len(strings)) {
-		counts, err := j.RunWithInversion(strings[i], n, deriveSeed(seed, i))
-		if err != nil {
-			return nil, fmt.Errorf("core: SIM mode %v: %w", strings[i], err)
-		}
-		res.PerMode = append(res.PerMode, counts)
+	perMode, err := orchestrate.Map(ctx, j.Machine.workers(), splitShots(shots, len(strings)),
+		func(ctx context.Context, i, n int) (*dist.Counts, error) {
+			counts, err := j.RunWithInversionContext(ctx, strings[i], n, deriveSeed(seed, i))
+			if err != nil {
+				return nil, fmt.Errorf("core: SIM mode %v: %w", strings[i], err)
+			}
+			return counts, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.PerMode = perMode
+	for _, counts := range perMode {
 		res.Merged.Merge(counts)
 	}
 	return res, nil
@@ -78,9 +96,14 @@ func SIM(j *Job, strings []bitstring.Bits, shots int, seed int64) (*SIMResult, e
 
 // SIM4 runs the paper's default four-mode SIM configuration.
 func SIM4(j *Job, shots int, seed int64) (*SIMResult, error) {
+	return SIM4Context(context.Background(), j, shots, seed)
+}
+
+// SIM4Context is SIM4 with cancellation.
+func SIM4Context(ctx context.Context, j *Job, shots int, seed int64) (*SIMResult, error) {
 	strings, err := StandardInversionStrings(j.Width(), 4)
 	if err != nil {
 		return nil, err
 	}
-	return SIM(j, strings, shots, seed)
+	return SIMContext(ctx, j, strings, shots, seed)
 }

@@ -173,12 +173,30 @@ func (d Dist) Outcomes() []bitstring.Bits {
 }
 
 // Mass returns the total probability mass (1 for a proper distribution).
+//
+// Scalar folds over a Dist (Mass, Entropy, KL, TVD, Expectation) walk
+// the outcomes in ascending numeric order, not map order: Go randomizes
+// map iteration and float addition is not associative, so a map-order
+// sum varies by ulps from run to run — enough to flip comparisons built
+// on top of it (e.g. picking the best of two near-tied QAOA angle
+// candidates) and break the repo-wide same-seed reproducibility
+// guarantee.
 func (d Dist) Mass() float64 {
 	var s float64
-	for _, p := range d.P {
-		s += p
+	for _, b := range d.Outcomes() {
+		s += d.P[b]
 	}
 	return s
+}
+
+// Expectation returns Σ p(x)·f(x) over the distribution, folding in
+// ascending outcome order for run-to-run reproducibility (see Mass).
+func (d Dist) Expectation(f func(bitstring.Bits) float64) float64 {
+	var e float64
+	for _, b := range d.Outcomes() {
+		e += d.P[b] * f(b)
+	}
+	return e
 }
 
 // Normalize returns a copy of d scaled to unit mass. A zero-mass
@@ -246,8 +264,8 @@ func Mix(ds []Dist, w []float64) Dist {
 // entropy of NISQ output logs up; mitigation pulls it back down.
 func (d Dist) Entropy() float64 {
 	var h float64
-	for _, p := range d.P {
-		if p > 0 {
+	for _, b := range d.Outcomes() {
+		if p := d.P[b]; p > 0 {
 			h -= p * math.Log2(p)
 		}
 	}
@@ -261,7 +279,8 @@ func (d Dist) KL(o Dist) float64 {
 		panic("dist: KL width mismatch")
 	}
 	var kl float64
-	for b, p := range d.P {
+	for _, b := range d.Outcomes() {
+		p := d.P[b]
 		if p == 0 {
 			continue
 		}
@@ -282,12 +301,12 @@ func (d Dist) TVD(o Dist) float64 {
 		panic("dist: TVD width mismatch")
 	}
 	var s float64
-	for b, p := range d.P {
-		s += math.Abs(p - o.P[b])
+	for _, b := range d.Outcomes() {
+		s += math.Abs(d.P[b] - o.P[b])
 	}
-	for b, q := range o.P {
+	for _, b := range o.Outcomes() {
 		if _, seen := d.P[b]; !seen {
-			s += q
+			s += o.P[b]
 		}
 	}
 	return s / 2

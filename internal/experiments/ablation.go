@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"biasmit/internal/backend"
@@ -29,9 +30,9 @@ type AllocationComparisonResult struct {
 }
 
 // AllocationComparison runs BV-6 on melbourne under both allocators.
-func AllocationComparison(cfg Config) (AllocationComparisonResult, error) {
+func AllocationComparison(ctx context.Context, cfg Config) (AllocationComparisonResult, error) {
 	dev := device.IBMQMelbourne()
-	m := machine(dev)
+	m := cfg.machine(dev)
 	bench := kernels.BV("bv-6", bitstring.MustParse("011111"))
 	res := AllocationComparisonResult{Machine: dev.Name, Benchmark: bench.Name}
 	shots := cfg.shots(16000)
@@ -40,7 +41,7 @@ func AllocationComparison(cfg Config) (AllocationComparisonResult, error) {
 		opt := m.Opt
 		opt.Shots = shots
 		opt.Seed = seed
-		raw, err := backend.Run(plan.Physical, dev, opt)
+		raw, err := backend.RunContext(ctx, plan.Physical, dev, opt)
 		if err != nil {
 			return 0, err
 		}
@@ -93,19 +94,19 @@ type ScheduleAblationResult struct {
 // schedule-aware model decays the all-ones branch harder (qubits idle
 // while the CNOT chain advances), widening the Fig 6 skew toward the
 // paper's hardware measurement.
-func ScheduleAblation(cfg Config) (ScheduleAblationResult, error) {
+func ScheduleAblation(ctx context.Context, cfg Config) (ScheduleAblationResult, error) {
 	dev := device.IBMQMelbourne()
 	res := ScheduleAblationResult{Machine: dev.Name}
 	shots := cfg.shots(32000)
 
 	run := func(scheduleAware bool, seed int64) (skew, pOnes float64, err error) {
-		m := core.NewMachine(dev)
+		m := cfg.machine(dev)
 		m.Opt.ScheduleAwareDecay = scheduleAware
 		job, err := core.NewJob(kernels.GHZ(5), m)
 		if err != nil {
 			return 0, 0, err
 		}
-		counts, err := job.Baseline(shots, seed)
+		counts, err := job.BaselineContext(ctx, shots, seed)
 		if err != nil {
 			return 0, 0, err
 		}

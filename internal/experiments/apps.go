@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"biasmit/internal/bitstring"
@@ -10,6 +11,7 @@ import (
 	"biasmit/internal/kernels"
 	"biasmit/internal/maxcut"
 	"biasmit/internal/metrics"
+	"biasmit/internal/orchestrate"
 	"biasmit/internal/report"
 )
 
@@ -30,29 +32,29 @@ type Figure3Result struct {
 
 // Figure3 runs BV-2 with keys 01 and 11 on the ibmqx4 model. The paper
 // plots 2-bit outputs; we marginalize out the ancilla accordingly.
-func Figure3(cfg Config) (Figure3Result, error) {
+func Figure3(ctx context.Context, cfg Config) (Figure3Result, error) {
 	dev := device.IBMQX4()
-	m := machine(dev)
+	m := cfg.machine(dev)
 	shots := cfg.shots(8192)
 
-	run := func(key string, seed int64) (dist.Dist, bitstring.Bits, error) {
+	run := func(ctx context.Context, key string, seed int64) (dist.Dist, bitstring.Bits, error) {
 		b := kernels.BV("bv-2", bitstring.MustParse(key))
 		job, err := core.NewJob(b.Circuit, m)
 		if err != nil {
 			return dist.Dist{}, bitstring.Bits{}, err
 		}
-		counts, err := job.Baseline(shots, seed)
+		counts, err := job.BaselineContext(ctx, shots, seed)
 		if err != nil {
 			return dist.Dist{}, bitstring.Bits{}, err
 		}
 		return marginalizeLow(counts.Dist(), 2), bitstring.MustParse(key), nil
 	}
 
-	good, goodTarget, err := run("01", cfg.Seed+51)
+	good, goodTarget, err := run(ctx, "01", cfg.Seed+51)
 	if err != nil {
 		return Figure3Result{}, err
 	}
-	bad, badTarget, err := run("11", cfg.Seed+52)
+	bad, badTarget, err := run(ctx, "11", cfg.Seed+52)
 	if err != nil {
 		return Figure3Result{}, err
 	}
@@ -105,14 +107,14 @@ type Figure6Result struct {
 }
 
 // Figure6 prepares and measures GHZ-5 on the melbourne model.
-func Figure6(cfg Config) (Figure6Result, error) {
+func Figure6(ctx context.Context, cfg Config) (Figure6Result, error) {
 	dev := device.IBMQMelbourne()
-	m := machine(dev)
+	m := cfg.machine(dev)
 	job, err := core.NewJob(kernels.GHZ(5), m)
 	if err != nil {
 		return Figure6Result{}, err
 	}
-	counts, err := job.Baseline(cfg.shots(32000), cfg.Seed+61)
+	counts, err := job.BaselineContext(ctx, cfg.shots(32000), cfg.Seed+61)
 	if err != nil {
 		return Figure6Result{}, err
 	}
@@ -160,33 +162,40 @@ type Table2Result struct {
 	Rows    []Table2Row
 }
 
-// Table2 executes the five 6-node graphs for 32k trials each.
-func Table2(cfg Config) (Table2Result, error) {
+// Table2 executes the five 6-node graphs for 32k trials each. The
+// graphs are independent workloads and run on cfg.Workers goroutines;
+// each graph's seed depends only on its index, so the table is
+// bit-identical at every worker count.
+func Table2(ctx context.Context, cfg Config) (Table2Result, error) {
 	dev := device.IBMQMelbourne()
-	m := machine(dev)
+	m := cfg.machine(dev)
 	res := Table2Result{Machine: dev.Name}
 	shots := cfg.shots(32000)
-	for i, pg := range maxcut.Table2Graphs() {
-		bench := kernels.QAOA(pg.Graph.Name, pg, 1)
-		job, err := core.NewJob(bench.Circuit, m)
-		if err != nil {
-			return res, err
-		}
-		counts, err := job.Baseline(shots, cfg.Seed+71+int64(i))
-		if err != nil {
-			return res, err
-		}
-		d := counts.Dist()
-		pm := evaluate(d, bench.Correct)
-		res.Rows = append(res.Rows, Table2Row{
-			Graph:         pg.Graph.Name,
-			Optimal:       pg.Optimal,
-			HammingWeight: pg.Optimal.HammingWeight(),
-			PST:           pm.PST,
-			IST:           pm.IST,
-			ROCA:          pm.ROCA,
+	rows, err := orchestrate.Map(ctx, cfg.workers(), maxcut.Table2Graphs(),
+		func(ctx context.Context, i int, pg maxcut.PaperGraph) (Table2Row, error) {
+			bench := kernels.QAOA(pg.Graph.Name, pg, 1)
+			job, err := core.NewJob(bench.Circuit, m)
+			if err != nil {
+				return Table2Row{}, err
+			}
+			counts, err := job.BaselineContext(ctx, shots, cfg.Seed+71+int64(i))
+			if err != nil {
+				return Table2Row{}, err
+			}
+			pm := evaluate(counts.Dist(), bench.Correct)
+			return Table2Row{
+				Graph:         pg.Graph.Name,
+				Optimal:       pg.Optimal,
+				HammingWeight: pg.Optimal.HammingWeight(),
+				PST:           pm.PST,
+				IST:           pm.IST,
+				ROCA:          pm.ROCA,
+			}, nil
 		})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -271,9 +280,9 @@ type Figure9Result struct {
 }
 
 // Figure9 runs QAOA graph-D (output 101011) for 16k trials per policy.
-func Figure9(cfg Config) (Figure9Result, error) {
+func Figure9(ctx context.Context, cfg Config) (Figure9Result, error) {
 	dev := device.IBMQMelbourne()
-	m := machine(dev)
+	m := cfg.machine(dev)
 	pg := maxcut.Table2Graphs()[3] // Graph-D
 	bench := kernels.QAOA(pg.Graph.Name, pg, 1)
 	job, err := core.NewJob(bench.Circuit, m)
@@ -282,11 +291,11 @@ func Figure9(cfg Config) (Figure9Result, error) {
 	}
 	shots := cfg.shots(16000)
 
-	base, err := job.Baseline(shots, cfg.Seed+81)
+	base, err := job.BaselineContext(ctx, shots, cfg.Seed+81)
 	if err != nil {
 		return Figure9Result{}, err
 	}
-	sim, err := core.SIM4(job, shots, cfg.Seed+82)
+	sim, err := core.SIM4Context(ctx, job, shots, cfg.Seed+82)
 	if err != nil {
 		return Figure9Result{}, err
 	}

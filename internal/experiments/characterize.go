@@ -1,13 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"biasmit/internal/bitstring"
 	"biasmit/internal/core"
 	"biasmit/internal/device"
+	"biasmit/internal/dist"
 	"biasmit/internal/kernels"
 	"biasmit/internal/metrics"
+	"biasmit/internal/orchestrate"
 	"biasmit/internal/report"
 )
 
@@ -21,9 +24,11 @@ type Figure1Result struct {
 }
 
 // Figure1 runs the paper's motivating experiment on the ibmqx4 model.
-func Figure1(cfg Config) (Figure1Result, error) {
+// The three measurements are independent and run on cfg.Workers
+// goroutines.
+func Figure1(ctx context.Context, cfg Config) (Figure1Result, error) {
 	dev := device.IBMQX4()
-	m := machine(dev)
+	m := cfg.machine(dev)
 	shots := cfg.shots(16000)
 	layout := identityLayout(5)
 
@@ -31,22 +36,25 @@ func Figure1(cfg Config) (Figure1Result, error) {
 	if err != nil {
 		return Figure1Result{}, err
 	}
-	cZeros, err := jobZeros.Baseline(shots, cfg.Seed+1)
-	if err != nil {
-		return Figure1Result{}, err
-	}
 	jobOnes, err := core.NewJobWithLayout(kernels.BasisPrep(bitstring.Ones(5)), m, layout)
 	if err != nil {
 		return Figure1Result{}, err
 	}
-	cOnes, err := jobOnes.Baseline(shots, cfg.Seed+2)
+	runs, err := orchestrate.Map(ctx, cfg.workers(), []int{0, 1, 2},
+		func(ctx context.Context, _, which int) (*dist.Counts, error) {
+			switch which {
+			case 0:
+				return jobZeros.BaselineContext(ctx, shots, cfg.Seed+1)
+			case 1:
+				return jobOnes.BaselineContext(ctx, shots, cfg.Seed+2)
+			default:
+				return jobOnes.RunWithInversionContext(ctx, bitstring.Ones(5), shots, cfg.Seed+3)
+			}
+		})
 	if err != nil {
 		return Figure1Result{}, err
 	}
-	cInv, err := jobOnes.RunWithInversion(bitstring.Ones(5), shots, cfg.Seed+3)
-	if err != nil {
-		return Figure1Result{}, err
-	}
+	cZeros, cOnes, cInv := runs[0], runs[1], runs[2]
 	return Figure1Result{
 		Machine:     dev.Name,
 		PSTZeros:    float64(cZeros.Get(bitstring.Zeros(5))) / float64(shots),
@@ -84,19 +92,19 @@ type Table1Result struct {
 // all-zeros preparation, and P(read 0 | prepared 1) by exciting one qubit
 // at a time (so readout crosstalk from other excited qubits does not
 // contaminate the per-qubit numbers).
-func Table1(cfg Config) (Table1Result, error) {
+func Table1(ctx context.Context, cfg Config) (Table1Result, error) {
 	var res Table1Result
 	shots := cfg.shots(8192)
 	for _, dev := range device.AllMachines() {
-		m := readoutOnly(dev)
+		m := cfg.readoutOnly(dev)
 		layout := identityLayout(dev.NumQubits)
 
-		measureFlip := func(state bitstring.Bits, q int, seed int64) (float64, error) {
+		measureFlip := func(ctx context.Context, state bitstring.Bits, q int, seed int64) (float64, error) {
 			job, err := core.NewJobWithLayout(kernels.BasisPrep(state), m, layout)
 			if err != nil {
 				return 0, err
 			}
-			counts, err := job.Baseline(shots, seed)
+			counts, err := job.BaselineContext(ctx, shots, seed)
 			if err != nil {
 				return 0, err
 			}
@@ -109,18 +117,31 @@ func Table1(cfg Config) (Table1Result, error) {
 			return float64(flips) / float64(counts.Total()), nil
 		}
 
-		row := Table1Row{Machine: dev.Name, Min: 1}
+		// The per-qubit calibration circuits are independent; run them on
+		// cfg.Workers goroutines and fold the errors in qubit order so the
+		// row statistics match the sequential pass bit for bit.
 		zeros := bitstring.Zeros(dev.NumQubits)
-		for q := 0; q < dev.NumQubits; q++ {
-			p01, err := measureFlip(zeros, q, cfg.Seed+11)
-			if err != nil {
-				return res, err
-			}
-			p10, err := measureFlip(zeros.SetBit(q, true), q, cfg.Seed+12+int64(q))
-			if err != nil {
-				return res, err
-			}
-			e := (p01 + p10) / 2
+		qubits := make([]int, dev.NumQubits)
+		for q := range qubits {
+			qubits[q] = q
+		}
+		errs, err := orchestrate.Map(ctx, cfg.workers(), qubits,
+			func(ctx context.Context, _, q int) (float64, error) {
+				p01, err := measureFlip(ctx, zeros, q, cfg.Seed+11)
+				if err != nil {
+					return 0, err
+				}
+				p10, err := measureFlip(ctx, zeros.SetBit(q, true), q, cfg.Seed+12+int64(q))
+				if err != nil {
+					return 0, err
+				}
+				return (p01 + p10) / 2, nil
+			})
+		if err != nil {
+			return res, err
+		}
+		row := Table1Row{Machine: dev.Name, Min: 1}
+		for _, e := range errs {
 			if e < row.Min {
 				row.Min = e
 			}
@@ -171,16 +192,16 @@ type Figure4Result struct {
 }
 
 // Figure4 characterizes ibmqx2 both ways (§3.1 and Appendix A).
-func Figure4(cfg Config) (Figure4Result, error) {
+func Figure4(ctx context.Context, cfg Config) (Figure4Result, error) {
 	dev := device.IBMQX2()
-	m := machine(dev)
+	m := cfg.machine(dev)
 	prof := &core.Profiler{Machine: m, Layout: identityLayout(5)}
 
-	direct, err := prof.BruteForce(cfg.shots(16000), cfg.Seed+21)
+	direct, err := prof.BruteForceContext(ctx, cfg.shots(16000), cfg.Seed+21)
 	if err != nil {
 		return Figure4Result{}, err
 	}
-	esct, err := prof.ESCT(cfg.shots(16000)*32, cfg.Seed+22)
+	esct, err := prof.ESCTContext(ctx, cfg.shots(16000)*32, cfg.Seed+22)
 	if err != nil {
 		return Figure4Result{}, err
 	}
@@ -229,14 +250,14 @@ type Figure5Result struct {
 
 // Figure5 runs ESCT over 10 melbourne qubits (150k trials in the paper)
 // and averages the per-state strengths by Hamming weight.
-func Figure5(cfg Config) (Figure5Result, error) {
+func Figure5(ctx context.Context, cfg Config) (Figure5Result, error) {
 	dev := device.IBMQMelbourne()
-	m := machine(dev)
+	m := cfg.machine(dev)
 	// Ten-qubit window over the strongest row qubits, as an application
 	// would be allocated.
 	layout := []int{0, 1, 2, 3, 4, 5, 6, 8, 9, 10}
 	prof := &core.Profiler{Machine: m, Layout: layout}
-	esct, err := prof.ESCT(cfg.shots(150000), cfg.Seed+31)
+	esct, err := prof.ESCTContext(ctx, cfg.shots(150000), cfg.Seed+31)
 	if err != nil {
 		return Figure5Result{}, err
 	}
@@ -277,20 +298,20 @@ type Figure15Result struct {
 // Figure15 characterizes ibmqx4 three ways: per-state preparation, one
 // equal superposition, and the sliding-window technique with m=4,
 // overlap 2.
-func Figure15(cfg Config) (Figure15Result, error) {
+func Figure15(ctx context.Context, cfg Config) (Figure15Result, error) {
 	dev := device.IBMQX4()
-	m := machine(dev)
+	m := cfg.machine(dev)
 	prof := &core.Profiler{Machine: m, Layout: identityLayout(5)}
 
-	direct, err := prof.BruteForce(cfg.shots(16000), cfg.Seed+41)
+	direct, err := prof.BruteForceContext(ctx, cfg.shots(16000), cfg.Seed+41)
 	if err != nil {
 		return Figure15Result{}, err
 	}
-	esct, err := prof.ESCT(cfg.shots(16000)*32, cfg.Seed+42)
+	esct, err := prof.ESCTContext(ctx, cfg.shots(16000)*32, cfg.Seed+42)
 	if err != nil {
 		return Figure15Result{}, err
 	}
-	awct, err := prof.AWCT(4, 2, cfg.shots(16000)*8, cfg.Seed+43)
+	awct, err := prof.AWCTContext(ctx, 4, 2, cfg.shots(16000)*8, cfg.Seed+43)
 	if err != nil {
 		return Figure15Result{}, err
 	}

@@ -11,6 +11,7 @@ import (
 	"biasmit/internal/backend"
 	"biasmit/internal/core"
 	"biasmit/internal/device"
+	"biasmit/internal/orchestrate"
 )
 
 // Config controls experiment fidelity and determinism.
@@ -21,6 +22,18 @@ type Config struct {
 	Scale float64
 	// Seed drives every random choice; equal seeds give equal results.
 	Seed int64
+	// Workers bounds how many independent circuit executions run
+	// concurrently, both inside each driver (benchmark × policy cells,
+	// sweep points) and inside core (SIM/AIM groups, profiler states).
+	// Zero selects GOMAXPROCS; one forces sequential execution. Every
+	// cell's seed is derived from the cell's position before submission,
+	// so results are bit-identical across worker counts.
+	Workers int
+}
+
+// workers resolves the configured parallelism.
+func (c Config) workers() int {
+	return orchestrate.Workers(c.Workers)
 }
 
 // scale returns the effective scale factor.
@@ -41,16 +54,20 @@ func (c Config) shots(paper int) int {
 	return s
 }
 
-// machine builds the fully noisy machine model for a device.
-func machine(dev *device.Device) *core.Machine {
-	return core.NewMachine(dev)
+// machine builds the fully noisy machine model for a device, carrying
+// the config's job-level parallelism.
+func (c Config) machine(dev *device.Device) *core.Machine {
+	m := core.NewMachine(dev)
+	m.Workers = c.Workers
+	return m
 }
 
 // readoutOnly builds a machine with only readout noise, used by the
 // characterization experiments that isolate measurement error.
-func readoutOnly(dev *device.Device) *core.Machine {
+func (c Config) readoutOnly(dev *device.Device) *core.Machine {
 	m := core.NewMachine(dev)
 	m.Opt = backend.Options{NoGateNoise: true, NoDecay: true}
+	m.Workers = c.Workers
 	return m
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -22,7 +23,7 @@ func TestConfigShots(t *testing.T) {
 }
 
 func TestFigure1Shape(t *testing.T) {
-	r, err := Figure1(quick(0.25, 1))
+	r, err := Figure1(context.Background(), quick(0.25, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestFigure1Shape(t *testing.T) {
 }
 
 func TestTable1MatchesPaperStats(t *testing.T) {
-	r, err := Table1(quick(1, 2)) // full shots: cheap (basis preps only)
+	r, err := Table1(context.Background(), quick(1, 2)) // full shots: cheap (basis preps only)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func abs(x float64) float64 {
 }
 
 func TestFigure4Shape(t *testing.T) {
-	r, err := Figure4(quick(0.05, 3))
+	r, err := Figure4(context.Background(), quick(0.05, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestFigure5Shape(t *testing.T) {
-	r, err := Figure5(quick(0.2, 4))
+	r, err := Figure5(context.Background(), quick(0.2, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestFigure5Shape(t *testing.T) {
 }
 
 func TestFigure3Shape(t *testing.T) {
-	r, err := Figure3(quick(0.5, 5))
+	r, err := Figure3(context.Background(), quick(0.5, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestFigure3Shape(t *testing.T) {
 }
 
 func TestFigure6Shape(t *testing.T) {
-	r, err := Figure6(quick(0.25, 6))
+	r, err := Figure6(context.Background(), quick(0.25, 6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestFigure6Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	r, err := Table2(quick(0.1, 7))
+	r, err := Table2(context.Background(), quick(0.1, 7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestFigure7WorkedExample(t *testing.T) {
 }
 
 func TestFigure9Shape(t *testing.T) {
-	r, err := Figure9(quick(0.15, 8))
+	r, err := Figure9(context.Background(), quick(0.15, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestFigure9Shape(t *testing.T) {
 }
 
 func TestSuiteShape(t *testing.T) {
-	r, err := RunSuite(quick(0.04, 9))
+	r, err := RunSuite(context.Background(), quick(0.04, 9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestSuiteShape(t *testing.T) {
 }
 
 func TestFigure11Shape(t *testing.T) {
-	r, err := Figure11(quick(0.15, 10))
+	r, err := Figure11(context.Background(), quick(0.15, 10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestFigure11Shape(t *testing.T) {
 }
 
 func TestFigure13Shape(t *testing.T) {
-	r, err := Figure13(quick(0.04, 11))
+	r, err := Figure13(context.Background(), quick(0.04, 11))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func TestTable3Characteristics(t *testing.T) {
 }
 
 func TestFigure15Shape(t *testing.T) {
-	r, err := Figure15(quick(0.05, 12))
+	r, err := Figure15(context.Background(), quick(0.05, 12))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestFigure15Shape(t *testing.T) {
 }
 
 func TestRepeatabilityShape(t *testing.T) {
-	r, err := Repeatability(quick(0.25, 13))
+	r, err := Repeatability(context.Background(), quick(0.25, 13))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +336,7 @@ func TestRepeatabilityShape(t *testing.T) {
 }
 
 func TestMitigationComparisonShape(t *testing.T) {
-	r, err := MitigationComparison(quick(0.15, 14))
+	r, err := MitigationComparison(context.Background(), quick(0.15, 14))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +363,7 @@ func TestMitigationComparisonShape(t *testing.T) {
 }
 
 func TestAllocationComparisonShape(t *testing.T) {
-	r, err := AllocationComparison(quick(0.25, 15))
+	r, err := AllocationComparison(context.Background(), quick(0.25, 15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +378,7 @@ func TestAllocationComparisonShape(t *testing.T) {
 }
 
 func TestScheduleAblationShape(t *testing.T) {
-	r, err := ScheduleAblation(quick(0.25, 16))
+	r, err := ScheduleAblation(context.Background(), quick(0.25, 16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +392,7 @@ func TestScheduleAblationShape(t *testing.T) {
 }
 
 func TestScalingShape(t *testing.T) {
-	r, err := Scaling(quick(0.1, 17))
+	r, err := Scaling(context.Background(), quick(0.1, 17))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +416,7 @@ func TestScalingShape(t *testing.T) {
 }
 
 func TestZNEComparisonShape(t *testing.T) {
-	r, err := ZNEComparison(quick(0.2, 18))
+	r, err := ZNEComparison(context.Background(), quick(0.2, 18))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -437,7 +438,7 @@ func TestZNEComparisonShape(t *testing.T) {
 }
 
 func TestFigure8Shape(t *testing.T) {
-	r, err := Figure8(quick(0.25, 19))
+	r, err := Figure8(context.Background(), quick(0.25, 19))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"biasmit/internal/bitstring"
@@ -42,9 +43,9 @@ type MitigationComparisonResult struct {
 // most vulnerable state) on ibmqx4 under: baseline, SIM, AIM, tensored
 // matrix mitigation, full matrix mitigation, and SIM composed with
 // tensored mitigation.
-func MitigationComparison(cfg Config) (MitigationComparisonResult, error) {
+func MitigationComparison(ctx context.Context, cfg Config) (MitigationComparisonResult, error) {
 	dev := device.IBMQX4()
-	m := machine(dev)
+	m := cfg.machine(dev)
 	bench := kernels.BV("bv-4B", bitstring.MustParse("1111"))
 	res := MitigationComparisonResult{
 		Machine:   dev.Name,
@@ -58,19 +59,19 @@ func MitigationComparison(cfg Config) (MitigationComparisonResult, error) {
 	layout := job.Plan.FinalLayout
 	shots := cfg.shots(32000)
 
-	baseline, err := job.Baseline(shots, cfg.Seed+700)
+	baseline, err := job.BaselineContext(ctx, shots, cfg.Seed+700)
 	if err != nil {
 		return res, err
 	}
-	sim, err := core.SIM4(job, shots, cfg.Seed+701)
+	sim, err := core.SIM4Context(ctx, job, shots, cfg.Seed+701)
 	if err != nil {
 		return res, err
 	}
-	rbms, err := job.Profiler().BruteForce(cfg.shots(4096), cfg.Seed+702)
+	rbms, err := job.Profiler().BruteForceContext(ctx, cfg.shots(4096), cfg.Seed+702)
 	if err != nil {
 		return res, err
 	}
-	aim, err := core.AIM(job, rbms, core.AIMConfig{}, shots, cfg.Seed+703)
+	aim, err := core.AIMContext(ctx, job, rbms, core.AIMConfig{}, shots, cfg.Seed+703)
 	if err != nil {
 		return res, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"biasmit/internal/bitstring"
@@ -29,9 +30,9 @@ type Figure8Result struct {
 // Figure8 measures the 4-bit state "0101" on the ibmqx4 model under
 // increasing SIM mode counts (the paper's worked diagram uses the same
 // state and the four strings 0000/1111/0101/1010).
-func Figure8(cfg Config) (Figure8Result, error) {
+func Figure8(ctx context.Context, cfg Config) (Figure8Result, error) {
 	dev := device.IBMQX4()
-	m := machine(dev)
+	m := cfg.machine(dev)
 	state := bitstring.MustParse("0101")
 	res := Figure8Result{Machine: dev.Name, State: state}
 	job, err := core.NewJob(kernels.BasisPrep(state), m)
@@ -40,11 +41,11 @@ func Figure8(cfg Config) (Figure8Result, error) {
 	}
 	shots := cfg.shots(16000)
 
-	std, err := job.RunWithInversion(bitstring.Zeros(4), shots, cfg.Seed+941)
+	std, err := job.RunWithInversionContext(ctx, bitstring.Zeros(4), shots, cfg.Seed+941)
 	if err != nil {
 		return res, err
 	}
-	inv, err := job.RunWithInversion(bitstring.Ones(4), shots, cfg.Seed+942)
+	inv, err := job.RunWithInversionContext(ctx, bitstring.Ones(4), shots, cfg.Seed+942)
 	if err != nil {
 		return res, err
 	}
@@ -56,7 +57,7 @@ func Figure8(cfg Config) (Figure8Result, error) {
 		if err != nil {
 			return res, err
 		}
-		sim, err := core.SIM(job, strings, shots, cfg.Seed+943+int64(k))
+		sim, err := core.SIMContext(ctx, job, strings, shots, cfg.Seed+943+int64(k))
 		if err != nil {
 			return res, err
 		}

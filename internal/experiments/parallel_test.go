@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestTable2ParallelMatchesSequential pins the orchestration contract at
+// the driver level: a parallel run is bit-identical to a sequential run
+// at the same seed, because every cell's seed is fixed by its position.
+func TestTable2ParallelMatchesSequential(t *testing.T) {
+	run := func(workers int) Table2Result {
+		r, err := Table2(context.Background(), Config{Scale: 0.04, Seed: 21, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	want := run(1)
+	got := run(8)
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("row counts %d vs %d", len(want.Rows), len(got.Rows))
+	}
+	for i := range want.Rows {
+		if want.Rows[i] != got.Rows[i] {
+			t.Fatalf("row %d differs:\nsequential: %+v\nparallel:   %+v",
+				i, want.Rows[i], got.Rows[i])
+		}
+	}
+}
+
+func TestFigure1ParallelMatchesSequential(t *testing.T) {
+	run := func(workers int) Figure1Result {
+		r, err := Figure1(context.Background(), Config{Scale: 0.05, Seed: 22, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if want, got := run(1), run(4); want != got {
+		t.Fatalf("sequential %+v != parallel %+v", want, got)
+	}
+}
+
+func TestDriverCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Table2(ctx, Config{Scale: 0.04, Seed: 23}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Table2 err = %v, want context.Canceled", err)
+	}
+	if _, err := Figure1(ctx, Config{Scale: 0.05, Seed: 23}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Figure1 err = %v, want context.Canceled", err)
+	}
+}

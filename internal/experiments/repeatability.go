@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"biasmit/internal/core"
 	"biasmit/internal/device"
 	"biasmit/internal/metrics"
+	"biasmit/internal/orchestrate"
 	"biasmit/internal/report"
 )
 
@@ -29,8 +31,11 @@ type RepeatabilityResult struct {
 }
 
 // Repeatability measures the ibmqx4 RBMS with ESCT in several
-// calibration cycles and compares the orderings.
-func Repeatability(cfg Config) (RepeatabilityResult, error) {
+// calibration cycles and compares the orderings. The cycles are
+// independent characterizations and run on cfg.Workers goroutines; each
+// cycle's seed depends only on its index, so the statistics are
+// bit-identical at every worker count.
+func Repeatability(ctx context.Context, cfg Config) (RepeatabilityResult, error) {
 	base := device.IBMQX4()
 	nominal := base.ReadoutModel().ExactBMS()
 	nominalRBMS, err := core.NewRBMS(5, nominal)
@@ -51,23 +56,38 @@ func Repeatability(cfg Config) (RepeatabilityResult, error) {
 	}
 	res := RepeatabilityResult{Machine: base.Name, Cycles: cycles, MinCorrelation: 1}
 	shots := cfg.shots(64000)
-	for c := 0; c < cycles; c++ {
-		dev := base.Calibrate(c)
-		prof := &core.Profiler{Machine: machine(dev), Layout: identityLayout(5)}
-		esct, err := prof.ESCT(shots, cfg.Seed+900+int64(c))
-		if err != nil {
-			return res, err
+	type cycleResult struct {
+		rho       float64
+		strongest string
+	}
+	cycleIdx := make([]int, cycles)
+	for c := range cycleIdx {
+		cycleIdx[c] = c
+	}
+	measured, err := orchestrate.Map(ctx, cfg.workers(), cycleIdx,
+		func(ctx context.Context, _, c int) (cycleResult, error) {
+			dev := base.Calibrate(c)
+			prof := &core.Profiler{Machine: cfg.machine(dev), Layout: identityLayout(5)}
+			esct, err := prof.ESCTContext(ctx, shots, cfg.Seed+900+int64(c))
+			if err != nil {
+				return cycleResult{}, err
+			}
+			rho, err := metrics.Spearman(nominal, esct.Strength)
+			if err != nil {
+				return cycleResult{}, err
+			}
+			return cycleResult{rho: rho, strongest: esct.StrongestState().String()}, nil
+		})
+	if err != nil {
+		return res, err
+	}
+	for _, cr := range measured {
+		res.SpearmanToNominal = append(res.SpearmanToNominal, cr.rho)
+		res.MeanCorrelation += cr.rho
+		if cr.rho < res.MinCorrelation {
+			res.MinCorrelation = cr.rho
 		}
-		rho, err := metrics.Spearman(nominal, esct.Strength)
-		if err != nil {
-			return res, err
-		}
-		res.SpearmanToNominal = append(res.SpearmanToNominal, rho)
-		res.MeanCorrelation += rho
-		if rho < res.MinCorrelation {
-			res.MinCorrelation = rho
-		}
-		if nominalTop[esct.StrongestState().String()] {
+		if nominalTop[cr.strongest] {
 			res.StrongestStable++
 		}
 	}

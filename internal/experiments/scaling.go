@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"biasmit/internal/bitstring"
@@ -32,7 +33,7 @@ type ScalingResult struct {
 
 // Scaling builds a 16-qubit ladder machine with 6% mean readout error
 // and runs BV-11 (12-bit output) under each policy.
-func Scaling(cfg Config) (ScalingResult, error) {
+func Scaling(ctx context.Context, cfg Config) (ScalingResult, error) {
 	dev, err := device.Synthetic(device.SyntheticSpec{
 		NumQubits:        16,
 		MeanReadoutError: 0.06,
@@ -42,7 +43,7 @@ func Scaling(cfg Config) (ScalingResult, error) {
 	if err != nil {
 		return ScalingResult{}, err
 	}
-	m := machine(dev)
+	m := cfg.machine(dev)
 	// 16-qubit trajectories are heavy; fan the trial loop out. Results
 	// stay deterministic for the fixed worker count.
 	m.Opt.Workers = 4
@@ -55,22 +56,22 @@ func Scaling(cfg Config) (ScalingResult, error) {
 	shots := cfg.shots(32000)
 	target := bench.Correct[0]
 
-	base, err := job.Baseline(shots, cfg.Seed+901)
+	base, err := job.BaselineContext(ctx, shots, cfg.Seed+901)
 	if err != nil {
 		return res, err
 	}
-	sim, err := core.SIM4(job, shots, cfg.Seed+902)
+	sim, err := core.SIM4Context(ctx, job, shots, cfg.Seed+902)
 	if err != nil {
 		return res, err
 	}
 	// AWCT: 12-bit profile from 4-qubit windows (5 windows of 16 states
 	// instead of 4096 preparations).
-	rbms, err := job.Profiler().AWCT(4, 2, cfg.shots(16000), cfg.Seed+903)
+	rbms, err := job.Profiler().AWCTContext(ctx, 4, 2, cfg.shots(16000), cfg.Seed+903)
 	if err != nil {
 		return res, err
 	}
 	res.Strongest = rbms.StrongestState()
-	aim, err := core.AIM(job, rbms, core.AIMConfig{}, shots, cfg.Seed+904)
+	aim, err := core.AIMContext(ctx, job, rbms, core.AIMConfig{}, shots, cfg.Seed+904)
 	if err != nil {
 		return res, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"biasmit/internal/bitstring"
@@ -10,6 +11,7 @@ import (
 	"biasmit/internal/kernels"
 	"biasmit/internal/maxcut"
 	"biasmit/internal/metrics"
+	"biasmit/internal/orchestrate"
 	"biasmit/internal/report"
 )
 
@@ -91,60 +93,78 @@ func BenchmarkByName(name string) (kernels.Benchmark, error) {
 // profileRBMS learns the machine's measurement-strength profile for the
 // job's output register: brute force on the 5-qubit machines, AWCT
 // (window 4, overlap 2) on melbourne, as in the paper (§6.2.1).
-func profileRBMS(job *core.Job, cfg Config, seed int64) (core.RBMS, error) {
+func profileRBMS(ctx context.Context, job *core.Job, cfg Config, seed int64) (core.RBMS, error) {
 	prof := job.Profiler()
 	if len(prof.Layout) <= 5 {
-		return prof.BruteForce(cfg.shots(4096), seed)
+		return prof.BruteForceContext(ctx, cfg.shots(4096), seed)
 	}
-	return prof.AWCT(4, 2, cfg.shots(16000), seed)
+	return prof.AWCTContext(ctx, 4, 2, cfg.shots(16000), seed)
+}
+
+// suiteCell is one machine × benchmark evaluation unit of RunSuite.
+type suiteCell struct {
+	dev      *device.Device
+	name     string
+	seedBase int64
 }
 
 // RunSuite executes the full benchmark suite under the three policies.
-func RunSuite(cfg Config) (*SuiteResult, error) {
-	res := &SuiteResult{}
+// The machine × benchmark cells are independent and run on cfg.Workers
+// goroutines; each cell's seed base depends only on its (machine,
+// benchmark) position, so the table is bit-identical at every worker
+// count.
+func RunSuite(ctx context.Context, cfg Config) (*SuiteResult, error) {
 	shots := cfg.shots(32000)
+	var cells []suiteCell
 	machineIdx := int64(0)
 	for _, dev := range device.AllMachines() {
-		names := suitePlan()[dev.Name]
-		m := machine(dev)
-		for bi, name := range names {
-			bench, err := BenchmarkByName(name)
-			if err != nil {
-				return nil, err
-			}
-			job, err := core.NewJob(bench.Circuit, m)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s on %s: %w", name, dev.Name, err)
-			}
-			seedBase := cfg.Seed + 1000*machineIdx + 100*int64(bi)
-
-			base, err := job.Baseline(shots, seedBase+1)
-			if err != nil {
-				return nil, err
-			}
-			sim, err := core.SIM4(job, shots, seedBase+2)
-			if err != nil {
-				return nil, err
-			}
-			rbms, err := profileRBMS(job, cfg, seedBase+3)
-			if err != nil {
-				return nil, err
-			}
-			aim, err := core.AIM(job, rbms, core.AIMConfig{}, shots, seedBase+4)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, SuiteRow{
-				Machine:   dev.Name,
-				Benchmark: name,
-				Baseline:  evaluate(base.Dist(), bench.Correct),
-				SIM:       evaluate(sim.Merged.Dist(), bench.Correct),
-				AIM:       evaluate(aim.Merged.Dist(), bench.Correct),
+		for bi, name := range suitePlan()[dev.Name] {
+			cells = append(cells, suiteCell{
+				dev:      dev,
+				name:     name,
+				seedBase: cfg.Seed + 1000*machineIdx + 100*int64(bi),
 			})
 		}
 		machineIdx++
 	}
-	return res, nil
+	rows, err := orchestrate.Map(ctx, cfg.workers(), cells,
+		func(ctx context.Context, _ int, cell suiteCell) (SuiteRow, error) {
+			bench, err := BenchmarkByName(cell.name)
+			if err != nil {
+				return SuiteRow{}, err
+			}
+			job, err := core.NewJob(bench.Circuit, cfg.machine(cell.dev))
+			if err != nil {
+				return SuiteRow{}, fmt.Errorf("experiments: %s on %s: %w", cell.name, cell.dev.Name, err)
+			}
+			base, err := job.BaselineContext(ctx, shots, cell.seedBase+1)
+			if err != nil {
+				return SuiteRow{}, err
+			}
+			sim, err := core.SIM4Context(ctx, job, shots, cell.seedBase+2)
+			if err != nil {
+				return SuiteRow{}, err
+			}
+			rbms, err := profileRBMS(ctx, job, cfg, cell.seedBase+3)
+			if err != nil {
+				return SuiteRow{}, err
+			}
+			aim, err := core.AIMContext(ctx, job, rbms, core.AIMConfig{}, shots, cell.seedBase+4)
+			if err != nil {
+				return SuiteRow{}, err
+			}
+			return SuiteRow{
+				Machine:   cell.dev.Name,
+				Benchmark: cell.name,
+				Baseline:  evaluate(base.Dist(), bench.Correct),
+				SIM:       evaluate(sim.Merged.Dist(), bench.Correct),
+				AIM:       evaluate(aim.Merged.Dist(), bench.Correct),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &SuiteResult{Rows: rows}, nil
 }
 
 // Figure10 renders the SIM part of the suite: PST of SIM normalized to

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"biasmit/internal/bitstring"
@@ -8,6 +9,7 @@ import (
 	"biasmit/internal/device"
 	"biasmit/internal/kernels"
 	"biasmit/internal/metrics"
+	"biasmit/internal/orchestrate"
 	"biasmit/internal/report"
 )
 
@@ -39,43 +41,51 @@ type Figure11Result struct {
 }
 
 // Figure11 sweeps all 32 basis states (16k trials each) and all 32 BV
-// targets (24k trials each, as in the paper).
-func Figure11(cfg Config) (Figure11Result, error) {
+// targets (24k trials each, as in the paper). Both 32-point sweeps run
+// on cfg.Workers goroutines; every point's seed depends only on its
+// state value, so the curves are bit-identical at every worker count.
+func Figure11(ctx context.Context, cfg Config) (Figure11Result, error) {
 	dev := device.IBMQX4()
-	m := machine(dev)
+	m := cfg.machine(dev)
 	res := Figure11Result{Machine: dev.Name, States: bitstring.AllByHammingWeight(5)}
 
-	basisByValue := make([]float64, 32)
 	prepShots := cfg.shots(16000)
-	for _, b := range bitstring.All(5) {
-		job, err := core.NewJobWithLayout(kernels.BasisPrep(b), m, identityLayout(5))
-		if err != nil {
-			return res, err
-		}
-		counts, err := job.Baseline(prepShots, cfg.Seed+200+int64(b.Uint64()))
-		if err != nil {
-			return res, err
-		}
-		basisByValue[b.Uint64()] = float64(counts.Get(b)) / float64(prepShots)
+	basisByValue, err := orchestrate.Map(ctx, cfg.workers(), bitstring.All(5),
+		func(ctx context.Context, _ int, b bitstring.Bits) (float64, error) {
+			job, err := core.NewJobWithLayout(kernels.BasisPrep(b), m, identityLayout(5))
+			if err != nil {
+				return 0, err
+			}
+			counts, err := job.BaselineContext(ctx, prepShots, cfg.Seed+200+int64(b.Uint64()))
+			if err != nil {
+				return 0, err
+			}
+			return float64(counts.Get(b)) / float64(prepShots), nil
+		})
+	if err != nil {
+		return res, err
 	}
 
 	layout, err := bvSweepLayout(m)
 	if err != nil {
 		return res, err
 	}
-	bvByValue := make([]float64, 32)
 	bvShots := cfg.shots(24000)
-	for _, target := range bitstring.All(5) {
-		bench := kernels.BVWithTarget("bv-4", target)
-		job, err := core.NewJobWithLayout(bench.Circuit, m, layout)
-		if err != nil {
-			return res, err
-		}
-		counts, err := job.Baseline(bvShots, cfg.Seed+300+int64(target.Uint64()))
-		if err != nil {
-			return res, err
-		}
-		bvByValue[target.Uint64()] = metrics.PST(counts.Dist(), target)
+	bvByValue, err := orchestrate.Map(ctx, cfg.workers(), bitstring.All(5),
+		func(ctx context.Context, _ int, target bitstring.Bits) (float64, error) {
+			bench := kernels.BVWithTarget("bv-4", target)
+			job, err := core.NewJobWithLayout(bench.Circuit, m, layout)
+			if err != nil {
+				return 0, err
+			}
+			counts, err := job.BaselineContext(ctx, bvShots, cfg.Seed+300+int64(target.Uint64()))
+			if err != nil {
+				return 0, err
+			}
+			return metrics.PST(counts.Dist(), target), nil
+		})
+	if err != nil {
+		return res, err
 	}
 
 	for _, b := range res.States {
@@ -130,9 +140,9 @@ type Figure13Result struct {
 // Figure13 runs the 32-target sweep under all three policies (24k trials
 // per instance in the paper). The machine RBMS is profiled once with the
 // brute-force technique, as the paper does for IBM-Q5.
-func Figure13(cfg Config) (Figure13Result, error) {
+func Figure13(ctx context.Context, cfg Config) (Figure13Result, error) {
 	dev := device.IBMQX4()
-	m := machine(dev)
+	m := cfg.machine(dev)
 	res := Figure13Result{Machine: dev.Name}
 
 	layout, err := bvSweepLayout(m)
@@ -140,38 +150,46 @@ func Figure13(cfg Config) (Figure13Result, error) {
 		return res, err
 	}
 	prof := &core.Profiler{Machine: m, Layout: layout}
-	rbms, err := prof.BruteForce(cfg.shots(4096), cfg.Seed+400)
+	rbms, err := prof.BruteForceContext(ctx, cfg.shots(4096), cfg.Seed+400)
 	if err != nil {
 		return res, err
 	}
 
+	// The 32 targets are independent three-policy evaluations; run them
+	// on cfg.Workers goroutines with per-target seeds fixed by sweep
+	// position so the sweep is bit-identical at every worker count.
 	shots := cfg.shots(24000)
-	for i, target := range bitstring.AllByHammingWeight(5) {
-		bench := kernels.BVWithTarget("bv-4", target)
-		job, err := core.NewJobWithLayout(bench.Circuit, m, layout)
-		if err != nil {
-			return res, err
-		}
-		seed := cfg.Seed + 500 + int64(i)
-		base, err := job.Baseline(shots, seed+1000)
-		if err != nil {
-			return res, err
-		}
-		sim, err := core.SIM4(job, shots, seed+2000)
-		if err != nil {
-			return res, err
-		}
-		aim, err := core.AIM(job, rbms, core.AIMConfig{}, shots, seed+3000)
-		if err != nil {
-			return res, err
-		}
-		res.Rows = append(res.Rows, Figure13Row{
-			Target:   target,
-			Baseline: metrics.PST(base.Dist(), target),
-			SIM:      metrics.PST(sim.Merged.Dist(), target),
-			AIM:      metrics.PST(aim.Merged.Dist(), target),
+	rows, err := orchestrate.Map(ctx, cfg.workers(), bitstring.AllByHammingWeight(5),
+		func(ctx context.Context, i int, target bitstring.Bits) (Figure13Row, error) {
+			bench := kernels.BVWithTarget("bv-4", target)
+			job, err := core.NewJobWithLayout(bench.Circuit, m, layout)
+			if err != nil {
+				return Figure13Row{}, err
+			}
+			seed := cfg.Seed + 500 + int64(i)
+			base, err := job.BaselineContext(ctx, shots, seed+1000)
+			if err != nil {
+				return Figure13Row{}, err
+			}
+			sim, err := core.SIM4Context(ctx, job, shots, seed+2000)
+			if err != nil {
+				return Figure13Row{}, err
+			}
+			aim, err := core.AIMContext(ctx, job, rbms, core.AIMConfig{}, shots, seed+3000)
+			if err != nil {
+				return Figure13Row{}, err
+			}
+			return Figure13Row{
+				Target:   target,
+				Baseline: metrics.PST(base.Dist(), target),
+				SIM:      metrics.PST(sim.Merged.Dist(), target),
+				AIM:      metrics.PST(aim.Merged.Dist(), target),
+			}, nil
 		})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 
 	stats := func(get func(Figure13Row) float64) (spread, mean float64) {
 		min, max, sum := 1.0, 0.0, 0.0

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"biasmit/internal/backend"
@@ -32,7 +33,7 @@ type ZNEComparisonResult struct {
 
 // ZNEComparison measures the qaoa-6 expected cut on melbourne under each
 // mitigation combination.
-func ZNEComparison(cfg Config) (ZNEComparisonResult, error) {
+func ZNEComparison(ctx context.Context, cfg Config) (ZNEComparisonResult, error) {
 	pg, err := maxcut.Table3Graph("qaoa-6")
 	if err != nil {
 		return ZNEComparisonResult{}, err
@@ -41,7 +42,7 @@ func ZNEComparison(cfg Config) (ZNEComparisonResult, error) {
 	obs := func(b bitstring.Bits) float64 { return pg.Graph.CutValue(b) }
 	best, _ := pg.Graph.Solve()
 
-	dev := machine(device.IBMQMelbourne())
+	dev := cfg.machine(device.IBMQMelbourne())
 	res := ZNEComparisonResult{
 		Machine: dev.Device.Name,
 		Graph:   pg.Graph.Name,
@@ -69,12 +70,12 @@ func ZNEComparison(cfg Config) (ZNEComparisonResult, error) {
 		if err != nil {
 			return res, err
 		}
-		counts, err := job.Baseline(shots, cfg.Seed+920+int64(i))
+		counts, err := job.BaselineContext(ctx, shots, cfg.Seed+920+int64(i))
 		if err != nil {
 			return res, err
 		}
 		rawVals = append(rawVals, zne.Expectation(counts.Dist(), obs))
-		sim, err := core.SIM4(job, shots, cfg.Seed+930+int64(i))
+		sim, err := core.SIM4Context(ctx, job, shots, cfg.Seed+930+int64(i))
 		if err != nil {
 			return res, err
 		}

@@ -54,14 +54,16 @@ func PSTEquiv(d dist.Dist, correct ...bitstring.Bits) float64 {
 // never appeared IST is 0.
 func IST(d dist.Dist, correct ...bitstring.Bits) float64 {
 	isCorrect := make(map[bitstring.Bits]bool, len(correct))
+	var pCorrect float64
 	for _, c := range correct {
-		isCorrect[c] = true
+		if !isCorrect[c] {
+			isCorrect[c] = true
+			pCorrect += d.Prob(c)
+		}
 	}
-	var pCorrect, pWorst float64
+	var pWorst float64
 	for b, p := range d.P {
-		if isCorrect[b] {
-			pCorrect += p
-		} else if p > pWorst {
+		if !isCorrect[b] && p > pWorst {
 			pWorst = p
 		}
 	}

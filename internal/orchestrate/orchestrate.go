@@ -1,0 +1,211 @@
+// Package orchestrate provides the bounded worker-pool job runner used
+// by every embarrassingly parallel stage of the pipeline: brute-force
+// RBMS profiling (one job per basis state), SIM/AIM inversion groups,
+// AWCT windows, and the experiment drivers' benchmark × policy cells.
+//
+// The scheduling contract is that parallel execution is invisible in the
+// results: callers derive every job's seed from (base seed, job index)
+// before submission, each job runs its trial loop sequentially with its
+// own RNG, and results land in index-addressed slots. A run with N
+// workers is therefore bit-identical to a sequential run at the same
+// seed — only wall-clock changes. Cancellation flows through a
+// context.Context: the first job error (or a parent cancellation) stops
+// new work, and Wait/Map report that first error. Panics inside jobs are
+// captured and surfaced as *PanicError instead of killing the process.
+package orchestrate
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Workers resolves a worker-count setting: values above zero are taken
+// as-is, anything else selects GOMAXPROCS (use 1 to force sequential
+// execution).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError wraps a panic recovered from a job so the failure surfaces
+// as an ordinary error on the submitting goroutine, with the worker's
+// stack preserved for diagnosis.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // the panicking goroutine's stack
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("orchestrate: job panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// DeriveSeed splits a base seed into decorrelated per-job streams with a
+// splitmix64 step, so a pool of jobs stays a pure function of the
+// caller's seed. Stream indices need not be contiguous.
+func DeriveSeed(seed int64, stream int) int64 {
+	x := uint64(seed) + 0x9E3779B97F4A7C15*uint64(stream+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x & (1<<63 - 1))
+}
+
+// Pool runs heterogeneous jobs on at most Workers(workers) goroutines.
+// The zero value is not usable; construct with NewPool.
+type Pool struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	sem    chan struct{}
+	wg     sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewPool returns a pool bounded to workers concurrent jobs (see
+// Workers for the zero default). The pool's jobs observe a context that
+// is cancelled as soon as any job fails, so in-flight work can stop
+// early.
+func NewPool(ctx context.Context, workers int) *Pool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	return &Pool{ctx: pctx, cancel: cancel, sem: make(chan struct{}, Workers(workers))}
+}
+
+// Go submits a job. If the pool is already cancelled (a previous job
+// failed or the parent context ended) the job is dropped and its slot's
+// error reflects the cancellation. Go must not be called after Wait.
+func (p *Pool) Go(f func(ctx context.Context) error) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		select {
+		case p.sem <- struct{}{}:
+			defer func() { <-p.sem }()
+		case <-p.ctx.Done():
+			p.report(p.ctx.Err())
+			return
+		}
+		if err := p.ctx.Err(); err != nil {
+			p.report(err)
+			return
+		}
+		p.report(protect(p.ctx, f))
+	}()
+}
+
+// Wait blocks until every submitted job has finished or been skipped and
+// returns the first error (in completion order) that any job produced,
+// or the parent context's error if it ended first.
+func (p *Pool) Wait() error {
+	p.wg.Wait()
+	p.cancel()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// report records the first failure and cancels the remaining jobs.
+func (p *Pool) report(err error) {
+	if err == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err == nil {
+		p.err = err
+		p.cancel()
+	}
+}
+
+// protect runs f, converting a panic into a *PanicError.
+func protect(ctx context.Context, f func(ctx context.Context) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return f(ctx)
+}
+
+// Map applies f to every item on at most Workers(workers) goroutines and
+// returns the results in input order. f receives the item's index so it
+// can derive a per-job seed (DeriveSeed) and write-free callers can
+// label work. On failure Map returns the first error (job error, panic,
+// or context cancellation); result slots whose jobs did not complete are
+// left as zero values.
+func Map[T, R any](ctx context.Context, workers int, items []T, f func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results, ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	report := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+	}
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := pctx.Err(); err != nil {
+					report(err)
+					continue // drain so the feeder can finish
+				}
+				r, err := protectMap(pctx, i, items[i], f)
+				if err != nil {
+					report(err)
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := range items {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return results, firstErr
+}
+
+// protectMap runs one Map job with panic capture.
+func protectMap[T, R any](ctx context.Context, i int, item T, f func(ctx context.Context, i int, item T) (R, error)) (r R, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &PanicError{Value: rec, Stack: debug.Stack()}
+		}
+	}()
+	return f(ctx, i, item)
+}

@@ -46,13 +46,11 @@ func Fold(c *circuit.Circuit, factor int) (*circuit.Circuit, error) {
 // value or a parity. Expectation integrates it over an output log.
 type Observable func(bitstring.Bits) float64
 
-// Expectation returns Σ p(x)·obs(x) over a distribution.
+// Expectation returns Σ p(x)·obs(x) over a distribution. It folds in
+// deterministic outcome order (dist.Dist.Expectation) so extrapolated
+// estimates reproduce exactly at a fixed seed.
 func Expectation(d dist.Dist, obs Observable) float64 {
-	var e float64
-	for b, p := range d.P {
-		e += p * obs(b)
-	}
-	return e
+	return d.Expectation(obs)
 }
 
 // Extrapolate fits values measured at the given noise factors with a

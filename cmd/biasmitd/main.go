@@ -1,0 +1,97 @@
+// Command biasmitd serves readout-error mitigation as a long-lived
+// daemon: characterize a machine's RBMS once per calibration cycle,
+// cache the profile, and serve baseline/SIM/AIM runs against it over an
+// HTTP/JSON API (see internal/server for the surface).
+//
+// Usage:
+//
+//	biasmitd -addr 127.0.0.1:8642
+//	biasmitd -addr :0 -workers 4 -profile-ttl 30m -refresh-interval 5m
+//
+//	curl -s localhost:8642/healthz
+//	curl -s -X POST localhost:8642/v1/mitigate \
+//	  -d '{"machine":"ibmqx4","policy":"aim","benchmark":"bv-4A","shots":8192}'
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight requests get -drain-timeout to finish, then the process
+// exits (a second signal aborts immediately).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"biasmit/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("biasmitd: ")
+
+	addr := flag.String("addr", "127.0.0.1:8642", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 0, "parallel workers per job (0 = all CPUs)")
+	maxJobs := flag.Int("max-jobs", 2, "concurrent mitigation/characterization jobs; further requests queue")
+	defaultTimeout := flag.Duration("default-timeout", 60*time.Second, "per-request deadline when the request sets none")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "upper bound on per-request deadlines")
+	maxShots := flag.Int("max-shots", 1<<20, "per-request shot-budget cap")
+	profileShots := flag.Int("profile-shots", 2048, "characterization trials per basis state (brute) / window (awct) / total (esct)")
+	profileTTL := flag.Duration("profile-ttl", 30*time.Minute, "how long cached RBMS profiles stay fresh")
+	refreshInterval := flag.Duration("refresh-interval", 0, "background profile refresh period (0 = disabled)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+	seed := flag.Int64("seed", 1, "base seed for characterization runs")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		MaxJobs:        *maxJobs,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxShots:       *maxShots,
+		ProfileShots:   *profileShots,
+		ProfileTTL:     *profileTTL,
+		Seed:           *seed,
+	})
+	if *refreshInterval > 0 {
+		go srv.Store().RefreshLoop(ctx, *refreshInterval)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("listening on %s", ln.Addr())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	log.Printf("draining in-flight requests (up to %s)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("drain incomplete: %v", err)
+		_ = httpSrv.Close()
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}

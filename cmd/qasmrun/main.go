@@ -10,11 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"biasmit/internal/core"
 	"biasmit/internal/device"
@@ -33,7 +36,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	policy := flag.String("policy", "baseline", "measurement policy: baseline, sim")
 	top := flag.Int("top", 10, "how many outcomes to print")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
+	workers := flag.Int("workers", 0, "goroutines for SIM inversion groups / baseline trial "+
+		"partitions (0 = sequential)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var src []byte
 	var err error
@@ -54,7 +68,9 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown machine %q", *machineName)
 	}
-	job, err := core.NewJob(c, core.NewMachine(dev))
+	m := core.NewMachine(dev)
+	m.Workers = *workers // SIM runs its inversion groups as parallel jobs
+	job, err := core.NewJob(c, m)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,10 +78,13 @@ func main() {
 	var counts *dist.Counts
 	switch *policy {
 	case "baseline":
-		counts, err = job.Baseline(*shots, *seed)
+		// Baseline is a single job, so parallelism lives inside the
+		// trial loop; results are deterministic per (seed, workers).
+		job.Machine.Opt.Workers = *workers
+		counts, err = job.BaselineContext(ctx, *shots, *seed)
 	case "sim":
 		var res *core.SIMResult
-		res, err = core.SIM4(job, *shots, *seed)
+		res, err = core.SIM4Context(ctx, job, *shots, *seed)
 		if res != nil {
 			counts = res.Merged
 		}

@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"biasmit/internal/backend"
 	"biasmit/internal/bitstring"
@@ -40,7 +43,18 @@ func main() {
 	top := flag.Int("top", 10, "how many outcomes to print")
 	ideal := flag.Bool("ideal", false, "disable all noise")
 	dumpQASM := flag.Bool("qasm", false, "print the transpiled circuit as OpenQASM 2.0 and exit")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
+	workers := flag.Int("workers", 0, "partition the trial loop across this many goroutines; "+
+		"results are deterministic per (seed, workers) pair (0 = single stream)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	dev, ok := device.ByName(*machineName)
 	if !ok {
@@ -85,6 +99,7 @@ func main() {
 	if *ideal {
 		m.Opt = backend.Options{NoGateNoise: true, NoDecay: true, NoReadoutError: true}
 	}
+	m.Opt.Workers = *workers
 	job, err := core.NewJob(bench.Circuit, m)
 	if err != nil {
 		log.Fatal(err)
@@ -93,7 +108,7 @@ func main() {
 		fmt.Print(qasm.Export(job.Plan.Physical))
 		return
 	}
-	counts, err := job.Baseline(*shots, *seed)
+	counts, err := job.BaselineContext(ctx, *shots, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,349 @@
+// Package profilestore caches learned RBMS profiles between mitigation
+// runs, so a machine is characterized once per calibration cycle instead
+// of once per request — the reuse the paper explicitly validates (§6.1:
+// the bias ordering is stable across calibration cycles) and the reason
+// AIM's profiling cost amortizes.
+//
+// The store is the serving layer's memory: profiles are keyed by
+// (machine, register width, characterization method), served while
+// younger than a TTL, and re-learned on demand. Concurrent requests for
+// the same missing profile are deduplicated singleflight-style — one
+// leader runs the characterization circuits, every other caller waits
+// for its result — so a burst of AIM requests after a restart triggers
+// exactly one characterization per key. A background refresh pass
+// (built on internal/orchestrate) re-learns aging profiles before they
+// expire, so steady-state traffic keeps hitting fresh cache entries and
+// never pays the characterization latency in-line.
+//
+// Profiles are immutable once published: a refresh builds the new
+// profile off to the side and swaps the pointer under the store lock,
+// so a reader can never observe a half-written profile.
+package profilestore
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"biasmit/internal/core"
+	"biasmit/internal/orchestrate"
+)
+
+// Key identifies one cached profile: a machine name, the width of the
+// characterized register, and the characterization method ("brute",
+// "esct", or "awct").
+type Key struct {
+	Machine string `json:"machine"`
+	Width   int    `json:"width"`
+	Method  string `json:"method"`
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%dq/%s", k.Machine, k.Width, k.Method)
+}
+
+// Profile is one immutable characterization result. The store hands the
+// same *Profile to every caller; nothing mutates it after publication.
+type Profile struct {
+	Key       Key
+	RBMS      core.RBMS
+	Layout    []int // physical qubits the profile was learned on
+	Shots     int   // trials per state/window spent learning it
+	LearnedAt time.Time
+}
+
+// CharacterizeFunc learns a fresh profile for key by running the actual
+// characterization circuits. It is called by at most one goroutine per
+// key at a time; the store fills in Key and LearnedAt if left zero.
+type CharacterizeFunc func(ctx context.Context, key Key) (*Profile, error)
+
+// DefaultTTL is the freshness window when Options.TTL is zero — a
+// conservative stand-in for the device's calibration cycle.
+const DefaultTTL = 30 * time.Minute
+
+// Options configures a Store.
+type Options struct {
+	// TTL is how long a learned profile is served before it is
+	// considered stale (zero selects DefaultTTL).
+	TTL time.Duration
+	// RefreshAfter is the age at which Refresh proactively re-learns a
+	// profile. Zero selects 2/3 of the TTL, so refreshes land before
+	// entries expire and requests keep hitting fresh cache.
+	RefreshAfter time.Duration
+	// RefreshWorkers bounds how many keys one Refresh pass re-learns
+	// concurrently (orchestrate.Map semantics; zero selects all CPUs).
+	RefreshWorkers int
+	// Now overrides the clock, for tests.
+	Now func() time.Time
+}
+
+// Stats counts cache outcomes since the store was created. Hits, Misses
+// and Expired partition lookups; Joined counts callers deduplicated onto
+// an in-flight characterization.
+type Stats struct {
+	Hits               uint64
+	Misses             uint64
+	Expired            uint64
+	Joined             uint64
+	Characterizations  uint64
+	CharacterizeErrors uint64
+	Refreshes          uint64
+	RefreshErrors      uint64
+	Entries            int
+}
+
+// call is one in-flight characterization; done is closed when profile
+// and err are final.
+type call struct {
+	done    chan struct{}
+	profile *Profile
+	err     error
+}
+
+// Store is a concurrency-safe profile cache. Construct with New.
+type Store struct {
+	characterize   CharacterizeFunc
+	ttl            time.Duration
+	refreshAfter   time.Duration
+	refreshWorkers int
+	now            func() time.Time
+
+	mu       sync.Mutex
+	profiles map[Key]*Profile
+	inflight map[Key]*call
+	stats    Stats
+}
+
+// New returns a store that learns missing profiles with characterize.
+func New(characterize CharacterizeFunc, opt Options) *Store {
+	if opt.TTL <= 0 {
+		opt.TTL = DefaultTTL
+	}
+	if opt.RefreshAfter <= 0 {
+		opt.RefreshAfter = opt.TTL * 2 / 3
+	}
+	if opt.Now == nil {
+		opt.Now = time.Now
+	}
+	return &Store{
+		characterize:   characterize,
+		ttl:            opt.TTL,
+		refreshAfter:   opt.RefreshAfter,
+		refreshWorkers: opt.RefreshWorkers,
+		now:            opt.Now,
+		profiles:       make(map[Key]*Profile),
+		inflight:       make(map[Key]*call),
+	}
+}
+
+// TTL returns the staleness threshold.
+func (s *Store) TTL() time.Duration { return s.ttl }
+
+// Age returns how old the profile is on the store's clock.
+func (s *Store) Age(p *Profile) time.Duration { return s.now().Sub(p.LearnedAt) }
+
+// Stale reports whether the profile has outlived the TTL.
+func (s *Store) Stale(p *Profile) bool { return s.Age(p) >= s.ttl }
+
+// Get returns the cached profile for key if one exists and is fresh,
+// without triggering characterization. Lookups are counted in Stats.
+func (s *Store) Get(key Key) (*Profile, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.profiles[key]
+	switch {
+	case p == nil:
+		s.stats.Misses++
+		return nil, false
+	case s.now().Sub(p.LearnedAt) >= s.ttl:
+		s.stats.Expired++
+		return nil, false
+	}
+	s.stats.Hits++
+	return p, true
+}
+
+// GetOrCharacterize returns the cached profile for key, learning it
+// first if it is missing or stale. The second result reports whether the
+// profile came from cache. Concurrent callers for the same key share one
+// characterization: the first becomes the leader and runs it, the rest
+// wait for the leader's result (or their own ctx ending). A leader
+// failure is returned to every waiter and nothing is cached.
+func (s *Store) GetOrCharacterize(ctx context.Context, key Key) (*Profile, bool, error) {
+	s.mu.Lock()
+	if p := s.profiles[key]; p != nil && s.now().Sub(p.LearnedAt) < s.ttl {
+		s.stats.Hits++
+		s.mu.Unlock()
+		return p, true, nil
+	} else if p == nil {
+		s.stats.Misses++
+	} else {
+		s.stats.Expired++
+	}
+	if c, ok := s.inflight[key]; ok {
+		s.stats.Joined++
+		s.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.profile, false, c.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	c := s.beginLocked(key)
+	s.mu.Unlock()
+	s.run(ctx, key, c, false)
+	return c.profile, false, c.err
+}
+
+// Characterize forces a fresh characterization for key regardless of
+// cache state, joining an already in-flight one if present.
+func (s *Store) Characterize(ctx context.Context, key Key) (*Profile, error) {
+	s.mu.Lock()
+	if c, ok := s.inflight[key]; ok {
+		s.stats.Joined++
+		s.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.profile, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	c := s.beginLocked(key)
+	s.mu.Unlock()
+	s.run(ctx, key, c, false)
+	return c.profile, c.err
+}
+
+// beginLocked registers a new in-flight call for key. The caller must
+// hold s.mu and have checked no call is in flight.
+func (s *Store) beginLocked(key Key) *call {
+	c := &call{done: make(chan struct{})}
+	s.inflight[key] = c
+	return c
+}
+
+// run executes the characterization as the call's leader and publishes
+// the outcome. On success the finished profile is swapped into the cache
+// under the lock — readers only ever see the old pointer or the complete
+// new one. On failure any previously cached profile is left untouched.
+func (s *Store) run(ctx context.Context, key Key, c *call, refresh bool) {
+	p, err := s.characterize(ctx, key)
+	if err == nil && p == nil {
+		err = fmt.Errorf("profilestore: characterize returned no profile for %s", key)
+	}
+	if err == nil {
+		q := *p // publish a copy so the CharacterizeFunc can't mutate it later
+		q.Key = key
+		if q.LearnedAt.IsZero() {
+			q.LearnedAt = s.now()
+		}
+		p = &q
+	}
+	s.mu.Lock()
+	delete(s.inflight, key)
+	switch {
+	case err == nil:
+		s.profiles[key] = p
+		c.profile = p
+		if refresh {
+			s.stats.Refreshes++
+		} else {
+			s.stats.Characterizations++
+		}
+	case refresh:
+		s.stats.RefreshErrors++
+	default:
+		s.stats.CharacterizeErrors++
+	}
+	c.err = err
+	s.mu.Unlock()
+	close(c.done)
+}
+
+// Refresh re-learns every cached profile older than RefreshAfter, at
+// most RefreshWorkers at a time (orchestrate.Map). Requests arriving
+// while a refresh runs keep being served the previous profile — stale
+// while revalidating — and a failed refresh keeps the old profile and is
+// only counted in Stats. Refresh returns the first re-learning error.
+func (s *Store) Refresh(ctx context.Context) error {
+	now := s.now()
+	s.mu.Lock()
+	due := make([]Key, 0, len(s.profiles))
+	for key, p := range s.profiles {
+		if _, busy := s.inflight[key]; busy {
+			continue
+		}
+		if now.Sub(p.LearnedAt) >= s.refreshAfter {
+			due = append(due, key)
+		}
+	}
+	s.mu.Unlock()
+	if len(due) == 0 {
+		return nil
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].String() < due[j].String() })
+	_, err := orchestrate.Map(ctx, s.refreshWorkers, due,
+		func(ctx context.Context, _ int, key Key) (struct{}, error) {
+			s.mu.Lock()
+			if _, busy := s.inflight[key]; busy {
+				// A request-path characterization started since the scan;
+				// it will publish a fresh profile, so skip this key.
+				s.mu.Unlock()
+				return struct{}{}, nil
+			}
+			c := s.beginLocked(key)
+			s.mu.Unlock()
+			s.run(ctx, key, c, true)
+			return struct{}{}, c.err
+		})
+	return err
+}
+
+// RefreshLoop calls Refresh every interval until ctx ends. Errors are
+// absorbed (and counted in Stats): a failed pass leaves the old profiles
+// serving and the next tick retries.
+func (s *Store) RefreshLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_ = s.Refresh(ctx)
+		}
+	}
+}
+
+// Invalidate drops the cached profile for key, if any. An in-flight
+// characterization is unaffected and will re-publish when it completes.
+func (s *Store) Invalidate(key Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.profiles, key)
+}
+
+// Profiles returns a snapshot of every cached profile, sorted by key.
+func (s *Store) Profiles() []*Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Profile, 0, len(s.profiles))
+	for _, p := range s.profiles {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
+// StatsSnapshot returns the current counters plus the live entry count.
+func (s *Store) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.profiles)
+	return st
+}

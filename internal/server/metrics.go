@@ -1,0 +1,147 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"biasmit/internal/profilestore"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. Mitigation
+// latency is dominated by the trial loop, so the range runs from
+// millisecond health checks to multi-second characterizations.
+var latencyBuckets = []float64{0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	counts []uint64 // per-bucket (non-cumulative), one extra for +Inf
+	sum    float64
+	total  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(latencyBuckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// metricsRegistry is a minimal hand-rolled registry exposing the
+// Prometheus text format from the standard library alone: request
+// counters by route and status code, per-route latency histograms, and
+// per-route in-flight gauges. The profile-cache counters are appended
+// from the store's own stats at render time.
+type metricsRegistry struct {
+	mu       sync.Mutex
+	requests map[string]map[int]uint64 // route -> status code -> count
+	latency  map[string]*histogram     // route -> seconds
+	inFlight map[string]int            // route -> gauge
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{
+		requests: make(map[string]map[int]uint64),
+		latency:  make(map[string]*histogram),
+		inFlight: make(map[string]int),
+	}
+}
+
+// begin marks a request in flight on route.
+func (m *metricsRegistry) begin(route string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inFlight[route]++
+}
+
+// end completes a request: decrements the gauge, counts the status code,
+// and records the latency.
+func (m *metricsRegistry) end(route string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inFlight[route]--
+	byCode := m.requests[route]
+	if byCode == nil {
+		byCode = make(map[int]uint64)
+		m.requests[route] = byCode
+	}
+	byCode[code]++
+	h := m.latency[route]
+	if h == nil {
+		h = newHistogram()
+		m.latency[route] = h
+	}
+	h.observe(seconds)
+}
+
+// sortedKeys returns map keys in lexical order so the exposition is
+// deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// write renders the registry plus the profile-cache stats in the
+// Prometheus text exposition format.
+func (m *metricsRegistry) write(w io.Writer, cache profilestore.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP biasmitd_requests_total Completed HTTP requests by route and status code.")
+	fmt.Fprintln(w, "# TYPE biasmitd_requests_total counter")
+	for _, route := range sortedKeys(m.requests) {
+		byCode := m.requests[route]
+		codes := make([]int, 0, len(byCode))
+		for c := range byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "biasmitd_requests_total{route=%q,code=\"%d\"} %d\n", route, c, byCode[c])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP biasmitd_request_duration_seconds Request latency by route.")
+	fmt.Fprintln(w, "# TYPE biasmitd_request_duration_seconds histogram")
+	for _, route := range sortedKeys(m.latency) {
+		h := m.latency[route]
+		var cum uint64
+		for i, le := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "biasmitd_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", route, le, cum)
+		}
+		fmt.Fprintf(w, "biasmitd_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, h.total)
+		fmt.Fprintf(w, "biasmitd_request_duration_seconds_sum{route=%q} %g\n", route, h.sum)
+		fmt.Fprintf(w, "biasmitd_request_duration_seconds_count{route=%q} %d\n", route, h.total)
+	}
+
+	fmt.Fprintln(w, "# HELP biasmitd_in_flight_requests Requests currently being served, by route.")
+	fmt.Fprintln(w, "# TYPE biasmitd_in_flight_requests gauge")
+	for _, route := range sortedKeys(m.inFlight) {
+		fmt.Fprintf(w, "biasmitd_in_flight_requests{route=%q} %d\n", route, m.inFlight[route])
+	}
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("biasmitd_profile_cache_hits_total", "Profile lookups served from a fresh cache entry.", cache.Hits)
+	counter("biasmitd_profile_cache_misses_total", "Profile lookups with no cached entry.", cache.Misses)
+	counter("biasmitd_profile_cache_expired_total", "Profile lookups whose cached entry had outlived its TTL.", cache.Expired)
+	counter("biasmitd_profile_cache_joined_total", "Profile lookups deduplicated onto an in-flight characterization.", cache.Joined)
+	counter("biasmitd_profile_characterizations_total", "Request-path characterizations completed.", cache.Characterizations)
+	counter("biasmitd_profile_characterize_errors_total", "Request-path characterizations failed.", cache.CharacterizeErrors)
+	counter("biasmitd_profile_refreshes_total", "Background profile refreshes completed.", cache.Refreshes)
+	counter("biasmitd_profile_refresh_errors_total", "Background profile refreshes failed.", cache.RefreshErrors)
+	fmt.Fprintln(w, "# HELP biasmitd_profile_cache_entries Profiles currently cached.")
+	fmt.Fprintln(w, "# TYPE biasmitd_profile_cache_entries gauge")
+	fmt.Fprintf(w, "biasmitd_profile_cache_entries %d\n", cache.Entries)
+}

@@ -1,0 +1,623 @@
+// Package server implements biasmitd's HTTP/JSON API: readout-error
+// mitigation as a service over the simulated machine models.
+//
+// The daemon inverts the CLI workflow. Instead of every invocation
+// re-learning the machine's RBMS profile and exiting, a long-lived
+// process holds a profile cache (internal/profilestore) and serves
+// mitigation requests against it:
+//
+//	POST /v1/mitigate     run a benchmark under baseline/SIM/AIM
+//	POST /v1/characterize learn (or reuse) an RBMS profile
+//	GET  /v1/profiles     list cached profiles and their freshness
+//	GET  /healthz         liveness probe
+//	GET  /metrics         Prometheus text metrics
+//
+// Requests carry explicit budgets and deadlines: shot counts are
+// validated with backend.CheckShots plus a server-level cap, every job
+// runs under a context deadline, and heavy work is admitted through a
+// bounded job gate so a burst cannot oversubscribe the orchestrate
+// worker pools underneath. Failures use one stable JSON error shape
+// (APIError) with machine-readable codes.
+package server
+
+import (
+	"context"
+	"hash/fnv"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"biasmit/internal/backend"
+	"biasmit/internal/bitstring"
+	"biasmit/internal/core"
+	"biasmit/internal/device"
+	"biasmit/internal/dist"
+	"biasmit/internal/experiments"
+	"biasmit/internal/kernels"
+	"biasmit/internal/metrics"
+	"biasmit/internal/orchestrate"
+	"biasmit/internal/profilestore"
+	"biasmit/internal/qasm"
+)
+
+// Config tunes a Server. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Machines resolves a machine name to its device model; defaults to
+	// device.ByName (the paper's three machines).
+	Machines func(name string) (*device.Device, bool)
+	// Workers bounds each job's internal parallelism (core.Machine
+	// Workers; zero selects all CPUs).
+	Workers int
+	// MaxJobs bounds how many mitigation/characterization jobs run
+	// concurrently; further requests queue until a slot frees or their
+	// deadline ends. Default 2.
+	MaxJobs int
+	// DefaultTimeout is the per-request deadline when the request does
+	// not set one (default 60s); MaxTimeout caps what a request may ask
+	// for (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxShots is the per-request trial-budget cap (default 1<<20,
+	// never above backend.MaxShots).
+	MaxShots int
+	// ProfileShots is the characterization budget per basis state
+	// (brute) or per window (awct) or total (esct); default 2048.
+	ProfileShots int
+	// ProfileTTL is how long cached profiles stay fresh (default
+	// profilestore.DefaultTTL).
+	ProfileTTL time.Duration
+	// Seed is the base seed for characterization runs (default 1); the
+	// per-key seed is derived from it so profiles are reproducible.
+	Seed int64
+	// Now overrides the clock, for tests.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machines == nil {
+		c.Machines = device.ByName
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 2
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxShots <= 0 || c.MaxShots > backend.MaxShots {
+		c.MaxShots = 1 << 20
+	}
+	if c.ProfileShots <= 0 {
+		c.ProfileShots = 2048
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Server is the biasmitd request handler. Construct with New; the
+// handler is safe for concurrent use.
+type Server struct {
+	cfg   Config
+	store *profilestore.Store
+	reg   *metricsRegistry
+	jobs  chan struct{} // admission gate for heavy endpoints
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a server and its profile store.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   newMetricsRegistry(),
+		jobs:  make(chan struct{}, cfg.MaxJobs),
+		mux:   http.NewServeMux(),
+		start: cfg.Now(),
+	}
+	s.store = profilestore.New(s.characterizeKey, profilestore.Options{
+		TTL:            cfg.ProfileTTL,
+		RefreshWorkers: 1, // one characterization at a time in the background
+		Now:            cfg.Now,
+	})
+	s.mux.HandleFunc("/v1/mitigate", s.instrument("/v1/mitigate", s.handleMitigate))
+	s.mux.HandleFunc("/v1/characterize", s.instrument("/v1/characterize", s.handleCharacterize))
+	s.mux.HandleFunc("/v1/profiles", s.instrument("/v1/profiles", s.handleProfiles))
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux.HandleFunc("/", s.instrument("/", s.handleNotFound))
+	return s
+}
+
+// Handler returns the HTTP handler serving the full API surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the profile store so the daemon can run its background
+// refresh loop (Store().RefreshLoop).
+func (s *Server) Store() *profilestore.Store { return s.store }
+
+// statusRecorder captures the status code a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the in-flight gauge, the request
+// counter, and the latency histogram for route.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.reg.begin(route)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.reg.end(route, rec.code, time.Since(start).Seconds())
+	}
+}
+
+// deadline derives the job context: the request's own timeout if set,
+// else the server default, never above the server maximum.
+func (s *Server) deadline(ctx context.Context, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// admit reserves a slot in the bounded job gate, waiting until one frees
+// or ctx ends (so a queued request still honours its deadline).
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case s.jobs <- struct{}{}:
+		return func() { <-s.jobs }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// checkShots validates a request budget against both the backend limit
+// and the server's own per-request cap.
+func (s *Server) checkShots(shots int) error {
+	if err := backend.CheckShots(shots); err != nil {
+		return err
+	}
+	if shots > s.cfg.MaxShots {
+		return apiErrorf(http.StatusBadRequest, CodeBadBudget,
+			"shot budget %d exceeds the server's per-request cap %d", shots, s.cfg.MaxShots)
+	}
+	return nil
+}
+
+// resolveBenchmark builds the workload a mitigate request names: an
+// inline QASM program, a paper suite benchmark, or one of the bv:<key>,
+// prep:<bits>, ghz-<n> shorthands.
+func resolveBenchmark(req *MitigateRequest) (kernels.Benchmark, error) {
+	if req.QASM != "" {
+		if req.Benchmark != "" {
+			return kernels.Benchmark{}, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+				"benchmark and qasm are mutually exclusive")
+		}
+		c, err := qasm.Parse(req.QASM)
+		if err != nil {
+			return kernels.Benchmark{}, apiErrorf(http.StatusBadRequest, CodeBadRequest, "parsing qasm: %v", err)
+		}
+		return kernels.Benchmark{Name: c.Name, Circuit: c}, nil
+	}
+	name := req.Benchmark
+	switch {
+	case name == "":
+		return kernels.Benchmark{}, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"one of benchmark or qasm is required")
+	case strings.HasPrefix(name, "bv:"):
+		key, err := bitstring.Parse(name[len("bv:"):])
+		if err != nil {
+			return kernels.Benchmark{}, apiErrorf(http.StatusBadRequest, CodeUnknownBenchmark, "bad bv key: %v", err)
+		}
+		return kernels.BV(name, key), nil
+	case strings.HasPrefix(name, "prep:"):
+		b, err := bitstring.Parse(name[len("prep:"):])
+		if err != nil {
+			return kernels.Benchmark{}, apiErrorf(http.StatusBadRequest, CodeUnknownBenchmark, "bad prep state: %v", err)
+		}
+		return kernels.Benchmark{Name: name, Circuit: kernels.BasisPrep(b), Correct: []bitstring.Bits{b}}, nil
+	case strings.HasPrefix(name, "ghz-"):
+		n, err := strconv.Atoi(name[len("ghz-"):])
+		if err != nil || n < 1 {
+			return kernels.Benchmark{}, apiErrorf(http.StatusBadRequest, CodeUnknownBenchmark, "bad ghz size in %q", name)
+		}
+		return kernels.Benchmark{Name: name, Circuit: kernels.GHZ(n),
+			Correct: []bitstring.Bits{bitstring.Zeros(n), bitstring.Ones(n)}}, nil
+	}
+	bench, err := experiments.BenchmarkByName(name)
+	if err != nil {
+		return kernels.Benchmark{}, apiErrorf(http.StatusBadRequest, CodeUnknownBenchmark, "%v", err)
+	}
+	return bench, nil
+}
+
+// resolveProfileMethod applies the paper's size rule when the request
+// does not force a method: brute force up to 5 qubits, AWCT beyond.
+func resolveProfileMethod(method string, width int) (string, error) {
+	switch method {
+	case "", "auto":
+		if width <= 5 {
+			return "brute", nil
+		}
+		return "awct", nil
+	case "brute", "esct", "awct":
+		return method, nil
+	}
+	return "", apiErrorf(http.StatusBadRequest, CodeBadRequest,
+		"unknown characterization method %q (want brute, esct, awct, or auto)", method)
+}
+
+// keyStream hashes a profile key into a seed stream so characterization
+// seeds are decorrelated across keys but reproducible across restarts.
+func keyStream(key profilestore.Key) int {
+	h := fnv.New32a()
+	h.Write([]byte(key.String()))
+	return int(h.Sum32() & (1<<31 - 1))
+}
+
+// characterizeKey is the profile store's CharacterizeFunc: it learns an
+// RBMS profile on the canonical layout (the machine's first Width
+// qubits) with the server's characterization budget. Per-benchmark
+// layouts can differ from this canonical register; the paper's stability
+// result (§6.1) is what makes the shared profile reusable across them.
+func (s *Server) characterizeKey(ctx context.Context, key profilestore.Key) (*profilestore.Profile, error) {
+	dev, ok := s.cfg.Machines(key.Machine)
+	if !ok {
+		return nil, apiErrorf(http.StatusNotFound, CodeUnknownMachine, "unknown machine %q", key.Machine)
+	}
+	if key.Width < 1 || key.Width > dev.NumQubits {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"register width %d out of range [1,%d] for %s", key.Width, dev.NumQubits, dev.Name)
+	}
+	layout := make([]int, key.Width)
+	for i := range layout {
+		layout[i] = i
+	}
+	m := core.NewMachine(dev)
+	m.Workers = s.cfg.Workers
+	prof := &core.Profiler{Machine: m, Layout: layout}
+	seed := orchestrate.DeriveSeed(s.cfg.Seed, keyStream(key))
+	var (
+		rbms core.RBMS
+		err  error
+	)
+	switch key.Method {
+	case "brute":
+		rbms, err = prof.BruteForceContext(ctx, s.cfg.ProfileShots, seed)
+	case "esct":
+		rbms, err = prof.ESCTContext(ctx, s.cfg.ProfileShots, seed)
+	case "awct":
+		rbms, err = prof.AWCTContext(ctx, 4, 2, s.cfg.ProfileShots, seed)
+	default:
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "unknown characterization method %q", key.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &profilestore.Profile{Key: key, RBMS: rbms, Layout: layout, Shots: s.cfg.ProfileShots}, nil
+}
+
+// profileInfo renders a cached profile for the wire.
+func (s *Server) profileInfo(p *profilestore.Profile) ProfileInfo {
+	info := ProfileInfo{
+		Machine:   p.Key.Machine,
+		Width:     p.Key.Width,
+		Method:    p.Key.Method,
+		Layout:    p.Layout,
+		Shots:     p.Shots,
+		LearnedAt: p.LearnedAt.UTC(),
+		AgeMS:     s.store.Age(p).Milliseconds(),
+		Stale:     s.store.Stale(p),
+		Strongest: p.RBMS.StrongestState().String(),
+	}
+	if corr, err := p.RBMS.HammingCorrelation(); err == nil {
+		info.HammingCorrelation = &corr
+	}
+	return info
+}
+
+// outcomeRows renders the top outcomes of a histogram.
+func outcomeRows(counts *dist.Counts, top int) ([]OutcomeCount, int) {
+	if top <= 0 {
+		top = 10
+	}
+	d := counts.Dist()
+	outcomes := counts.Outcomes()
+	rows := make([]OutcomeCount, 0, top)
+	for _, b := range d.TopK(top) {
+		rows = append(rows, OutcomeCount{
+			Outcome:     b.String(),
+			Count:       counts.Get(b),
+			Probability: d.Prob(b),
+		})
+	}
+	return rows, len(outcomes)
+}
+
+func (s *Server) handleMitigate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires POST", r.URL.Path))
+		return
+	}
+	var req MitigateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.mitigate(r.Context(), &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// mitigate validates and executes one mitigation request.
+func (s *Server) mitigate(ctx context.Context, req *MitigateRequest) (*MitigateResponse, error) {
+	dev, ok := s.cfg.Machines(req.Machine)
+	if !ok {
+		return nil, apiErrorf(http.StatusNotFound, CodeUnknownMachine, "unknown machine %q", req.Machine)
+	}
+	bench, err := resolveBenchmark(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.checkShots(req.Shots); err != nil {
+		return nil, err
+	}
+	switch req.Policy {
+	case "baseline", "sim", "aim":
+	default:
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"unknown policy %q (want baseline, sim, or aim)", req.Policy)
+	}
+	if req.CanaryFraction < 0 || req.CanaryFraction >= 1 {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "canary_fraction %v out of [0,1)", req.CanaryFraction)
+	}
+	if req.K < 0 {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "k must be non-negative")
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	ctx, cancel := s.deadline(ctx, req.TimeoutMS)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	m := core.NewMachine(dev)
+	m.Workers = s.cfg.Workers
+	job, err := core.NewJob(bench.Circuit, m)
+	if err != nil {
+		return nil, asBadRequest(err)
+	}
+
+	started := time.Now()
+	resp := &MitigateResponse{
+		Machine:   dev.Name,
+		Benchmark: bench.Name,
+		Policy:    req.Policy,
+		Shots:     req.Shots,
+		Seed:      seed,
+		Layout:    job.Plan.InitialLayout,
+		Swaps:     job.Plan.SwapCount,
+	}
+	var counts *dist.Counts
+	switch req.Policy {
+	case "baseline":
+		counts, err = job.BaselineContext(ctx, req.Shots, seed)
+		if err != nil {
+			return nil, toAPIError(err)
+		}
+	case "sim":
+		modes := req.Modes
+		if modes == 0 {
+			modes = 4
+		}
+		invs, serr := core.StandardInversionStrings(job.Width(), modes)
+		if serr != nil {
+			return nil, asBadRequest(serr)
+		}
+		res, serr := core.SIMContext(ctx, job, invs, req.Shots, seed)
+		if serr != nil {
+			return nil, asBadRequest(serr)
+		}
+		counts = res.Merged
+	case "aim":
+		prof, cached, aerr := s.aimProfile(ctx, req, job, dev)
+		if aerr != nil {
+			return nil, aerr
+		}
+		cfg := core.AIMConfig{CanaryFraction: req.CanaryFraction, K: req.K}
+		res, serr := core.AIMContext(ctx, job, prof.RBMS, cfg, req.Shots, seed)
+		if serr != nil {
+			return nil, asBadRequest(serr)
+		}
+		counts = res.Merged
+		resp.Strongest = res.Strongest.String()
+		for _, c := range res.Candidates {
+			resp.Candidates = append(resp.Candidates, AIMCandidate{
+				Output:     c.Output.String(),
+				Likelihood: c.Likelihood,
+				Inversion:  c.Inversion.String(),
+			})
+		}
+		resp.Profile = &MitigateProfile{ProfileInfo: s.profileInfo(prof), Cached: cached}
+	}
+
+	resp.Outcomes, resp.DistinctOutcomes = outcomeRows(counts, req.Top)
+	if len(bench.Correct) > 0 {
+		d := counts.Dist()
+		resp.Metrics = &PolicyMetrics{
+			PST:  metrics.PSTEquiv(d, bench.Correct...),
+			IST:  metrics.IST(d, bench.Correct...),
+			ROCA: metrics.ROCA(d, bench.Correct...),
+		}
+		for _, b := range bench.Correct {
+			resp.Correct = append(resp.Correct, b.String())
+		}
+	}
+	resp.ElapsedMS = float64(time.Since(started).Microseconds()) / 1000
+	return resp, nil
+}
+
+// aimProfile resolves the RBMS profile an AIM run needs: a fresh cached
+// profile when available, otherwise an in-line characterization — unless
+// the request insists on cache-only, which maps a miss onto the
+// profile_stale error.
+func (s *Server) aimProfile(ctx context.Context, req *MitigateRequest, job *core.Job, dev *device.Device) (*profilestore.Profile, bool, error) {
+	method, err := resolveProfileMethod(req.ProfileMethod, job.Width())
+	if err != nil {
+		return nil, false, err
+	}
+	key := profilestore.Key{Machine: dev.Name, Width: job.Width(), Method: method}
+	if req.RequireCachedProfile {
+		p, ok := s.store.Get(key)
+		if !ok {
+			return nil, false, apiErrorf(http.StatusConflict, CodeProfileStale,
+				"no fresh %s profile cached for %s; POST /v1/characterize first or drop require_cached_profile", method, key)
+		}
+		return p, true, nil
+	}
+	p, cached, err := s.store.GetOrCharacterize(ctx, key)
+	if err != nil {
+		return nil, false, toAPIError(err)
+	}
+	return p, cached, nil
+}
+
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires POST", r.URL.Path))
+		return
+	}
+	var req CharacterizeRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.characterizeRequest(r.Context(), &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// characterizeRequest validates and executes one characterization
+// request against the shared profile store.
+func (s *Server) characterizeRequest(ctx context.Context, req *CharacterizeRequest) (*CharacterizeResponse, error) {
+	dev, ok := s.cfg.Machines(req.Machine)
+	if !ok {
+		return nil, apiErrorf(http.StatusNotFound, CodeUnknownMachine, "unknown machine %q", req.Machine)
+	}
+	width := req.Qubits
+	if width == 0 {
+		width = dev.NumQubits
+		if (req.Method == "" || req.Method == "auto" || req.Method == "brute") && width > 5 {
+			width = 5
+		}
+	}
+	if width < 1 || width > dev.NumQubits {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"qubits %d out of range [1,%d] for %s", width, dev.NumQubits, dev.Name)
+	}
+	method, err := resolveProfileMethod(req.Method, width)
+	if err != nil {
+		return nil, err
+	}
+	key := profilestore.Key{Machine: dev.Name, Width: width, Method: method}
+
+	ctx, cancel := s.deadline(ctx, req.TimeoutMS)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	started := time.Now()
+	var (
+		p      *profilestore.Profile
+		cached bool
+	)
+	if req.Force {
+		p, err = s.store.Characterize(ctx, key)
+	} else {
+		p, cached, err = s.store.GetOrCharacterize(ctx, key)
+	}
+	if err != nil {
+		return nil, toAPIError(err)
+	}
+	resp := &CharacterizeResponse{
+		Profile:   s.profileInfo(p),
+		Cached:    cached,
+		ElapsedMS: float64(time.Since(started).Microseconds()) / 1000,
+	}
+	if req.IncludeStrengths || p.Key.Width <= 8 {
+		resp.Strengths = p.RBMS.Relative().Strength
+	}
+	return resp, nil
+}
+
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires GET", r.URL.Path))
+		return
+	}
+	resp := ProfilesResponse{Profiles: []ProfileInfo{}}
+	for _, p := range s.store.Profiles() {
+		resp.Profiles = append(resp.Profiles, s.profileInfo(p))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires GET", r.URL.Path))
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		UptimeMS: time.Since(s.start).Milliseconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires GET", r.URL.Path))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.write(w, s.store.StatsSnapshot())
+}
+
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, apiErrorf(http.StatusNotFound, CodeNotFound, "no route %s %s", r.Method, r.URL.Path))
+}

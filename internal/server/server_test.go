@@ -1,0 +1,345 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testServer spins up the API over httptest with a budget small enough
+// for fast tests.
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{
+		Workers:      2,
+		MaxJobs:      2,
+		ProfileShots: 64,
+		MaxShots:     1 << 16,
+		ProfileTTL:   time.Hour,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// decodeError asserts the response is the typed error envelope and
+// returns the APIError.
+func decodeError(t *testing.T, data []byte) *APIError {
+	t.Helper()
+	var env errorEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("response is not the typed error envelope: %v\n%s", err, data)
+	}
+	if env.Error == nil || env.Error.Code == "" {
+		t.Fatalf("error envelope missing code: %s", data)
+	}
+	return env.Error
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	resp, data := getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(data, &h); err != nil || h.Status != "ok" {
+		t.Fatalf("healthz body %s (err %v)", data, err)
+	}
+}
+
+func TestMitigateBaseline(t *testing.T) {
+	_, ts := testServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/mitigate", MitigateRequest{
+		Machine: "ibmqx4", Policy: "baseline", Benchmark: "bv-4A", Shots: 512, Seed: 7,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out MitigateResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Outcomes) == 0 || out.Metrics == nil {
+		t.Fatalf("incomplete response: %s", data)
+	}
+	if out.Metrics.PST <= 0.3 || out.Metrics.PST > 1 {
+		t.Fatalf("PST %v out of (0.3,1]", out.Metrics.PST)
+	}
+	// The correct BV answer should dominate a 512-shot baseline run.
+	if len(out.Correct) == 0 || out.Outcomes[0].Outcome != out.Correct[0] {
+		t.Fatalf("top outcome %q, want the correct answer %v", out.Outcomes[0].Outcome, out.Correct)
+	}
+}
+
+func TestMitigateDeterministicForFixedSeed(t *testing.T) {
+	_, ts := testServer(t)
+	req := MitigateRequest{Machine: "ibmqx2", Policy: "sim", Benchmark: "bv-4B", Shots: 400, Seed: 11}
+	_, first := postJSON(t, ts.URL+"/v1/mitigate", req)
+	_, second := postJSON(t, ts.URL+"/v1/mitigate", req)
+	var a, b MitigateResponse
+	if err := json.Unmarshal(first, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second, &b); err != nil {
+		t.Fatal(err)
+	}
+	a.ElapsedMS, b.ElapsedMS = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same request, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestMitigateAIMProfileCacheMissThenHit(t *testing.T) {
+	s, ts := testServer(t)
+	req := MitigateRequest{Machine: "ibmqx4", Policy: "aim", Benchmark: "bv-4A", Shots: 600, Seed: 3}
+
+	var out MitigateResponse
+	_, data := postJSON(t, ts.URL+"/v1/mitigate", req)
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("first AIM run: %v\n%s", err, data)
+	}
+	if out.Profile == nil || out.Profile.Cached {
+		t.Fatalf("first AIM run should characterize (cache miss): %s", data)
+	}
+	// bv-4A carries an ancilla, so the logical register is 5 bits wide.
+	if out.Profile.Method != "brute" || out.Profile.Width != 5 {
+		t.Fatalf("profile %+v, want brute/5q", out.Profile)
+	}
+
+	_, data = postJSON(t, ts.URL+"/v1/mitigate", req)
+	out = MitigateResponse{}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Profile == nil || !out.Profile.Cached {
+		t.Fatalf("second AIM run should reuse the cached profile: %s", data)
+	}
+
+	st := s.Store().StatsSnapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Characterizations != 1 {
+		t.Fatalf("cache stats %+v, want 1 hit / 1 miss / 1 characterization", st)
+	}
+
+	// The metrics endpoint reports the same story.
+	_, metricsBody := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"biasmitd_profile_cache_hits_total 1",
+		"biasmitd_profile_cache_misses_total 1",
+		`biasmitd_requests_total{route="/v1/mitigate",code="200"} 2`,
+		`biasmitd_in_flight_requests{route="/v1/mitigate"} 0`,
+		`biasmitd_request_duration_seconds_count{route="/v1/mitigate"} 2`,
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+
+	// And /v1/profiles lists the one learned profile.
+	_, profBody := getBody(t, ts.URL+"/v1/profiles")
+	var profs ProfilesResponse
+	if err := json.Unmarshal(profBody, &profs); err != nil {
+		t.Fatal(err)
+	}
+	if len(profs.Profiles) != 1 || profs.Profiles[0].Stale {
+		t.Fatalf("profiles = %s, want one fresh profile", profBody)
+	}
+}
+
+func TestMitigateBudgetErrorsAreTyped(t *testing.T) {
+	_, ts := testServer(t)
+	for _, shots := range []int{0, -5, 1 << 17} { // zero, negative, above server cap
+		resp, data := postJSON(t, ts.URL+"/v1/mitigate", MitigateRequest{
+			Machine: "ibmqx4", Policy: "baseline", Benchmark: "bv-4A", Shots: shots,
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("shots=%d: status %d, want 400: %s", shots, resp.StatusCode, data)
+		}
+		if ae := decodeError(t, data); ae.Code != CodeBadBudget {
+			t.Fatalf("shots=%d: code %q, want %q", shots, ae.Code, CodeBadBudget)
+		}
+	}
+}
+
+func TestMitigateValidationErrors(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		name   string
+		req    MitigateRequest
+		status int
+		code   string
+	}{
+		{"unknown machine", MitigateRequest{Machine: "ibmqx9", Policy: "baseline", Benchmark: "bv-4A", Shots: 100},
+			http.StatusNotFound, CodeUnknownMachine},
+		{"unknown benchmark", MitigateRequest{Machine: "ibmqx4", Policy: "baseline", Benchmark: "nope-7", Shots: 100},
+			http.StatusBadRequest, CodeUnknownBenchmark},
+		{"unknown policy", MitigateRequest{Machine: "ibmqx4", Policy: "psychic", Benchmark: "bv-4A", Shots: 100},
+			http.StatusBadRequest, CodeBadRequest},
+		{"bad qasm", MitigateRequest{Machine: "ibmqx4", Policy: "baseline", QASM: "garbage;", Shots: 100},
+			http.StatusBadRequest, CodeBadRequest},
+		{"stale-only AIM without profile", MitigateRequest{Machine: "ibmqx4", Policy: "aim", Benchmark: "bv-4A",
+			Shots: 600, RequireCachedProfile: true}, http.StatusConflict, CodeProfileStale},
+	}
+	for _, tc := range cases {
+		resp, data := postJSON(t, ts.URL+"/v1/mitigate", tc.req)
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status %d, want %d: %s", tc.name, resp.StatusCode, tc.status, data)
+		}
+		if ae := decodeError(t, data); ae.Code != tc.code {
+			t.Fatalf("%s: code %q, want %q", tc.name, ae.Code, tc.code)
+		}
+	}
+}
+
+func TestMitigateDeadlineExceeded(t *testing.T) {
+	_, ts := testServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/mitigate", MitigateRequest{
+		Machine: "ibmqx4", Policy: "baseline", Benchmark: "bv-4A",
+		Shots: 1 << 16, TimeoutMS: 1,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, data)
+	}
+	if ae := decodeError(t, data); ae.Code != CodeDeadlineExceeded {
+		t.Fatalf("code %q, want %q", ae.Code, CodeDeadlineExceeded)
+	}
+}
+
+func TestMitigateQASM(t *testing.T) {
+	_, ts := testServer(t)
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q -> c;
+`
+	resp, data := postJSON(t, ts.URL+"/v1/mitigate", MitigateRequest{
+		Machine: "ibmqx2", Policy: "baseline", QASM: src, Shots: 256,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out MitigateResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Outcomes) == 0 {
+		t.Fatalf("no outcomes: %s", data)
+	}
+}
+
+func TestCharacterizeEndpointSharesStoreWithAIM(t *testing.T) {
+	_, ts := testServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/characterize", CharacterizeRequest{
+		Machine: "ibmqx4", Method: "brute", Qubits: 5,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var ch CharacterizeResponse
+	if err := json.Unmarshal(data, &ch); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Cached || ch.Profile.Method != "brute" || len(ch.Strengths) != 32 {
+		t.Fatalf("unexpected characterize response: %s", data)
+	}
+
+	// An AIM request for the same (machine, width, method) now hits.
+	_, data = postJSON(t, ts.URL+"/v1/mitigate", MitigateRequest{
+		Machine: "ibmqx4", Policy: "aim", Benchmark: "bv-4A", Shots: 600, RequireCachedProfile: true,
+	})
+	var out MitigateResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Profile == nil || !out.Profile.Cached {
+		t.Fatalf("AIM did not reuse the characterize endpoint's profile: %s", data)
+	}
+
+	// Force re-learns even though a fresh profile exists.
+	_, data = postJSON(t, ts.URL+"/v1/characterize", CharacterizeRequest{
+		Machine: "ibmqx4", Method: "brute", Qubits: 5, Force: true,
+	})
+	ch = CharacterizeResponse{}
+	if err := json.Unmarshal(data, &ch); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Cached {
+		t.Fatalf("force=true reported a cache hit: %s", data)
+	}
+}
+
+func TestMethodNotAllowedAndNotFound(t *testing.T) {
+	_, ts := testServer(t)
+	resp, data := getBody(t, ts.URL+"/v1/mitigate")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET mitigate: status %d, want 405", resp.StatusCode)
+	}
+	if ae := decodeError(t, data); ae.Code != CodeMethodNotAllowed {
+		t.Fatalf("code %q, want %q", ae.Code, CodeMethodNotAllowed)
+	}
+	resp, data = getBody(t, ts.URL+"/v1/unknown")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown route: status %d, want 404", resp.StatusCode)
+	}
+	if ae := decodeError(t, data); ae.Code != CodeNotFound {
+		t.Fatalf("code %q, want %q", ae.Code, CodeNotFound)
+	}
+}
+
+func TestUnknownFieldRejected(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/mitigate", "application/json",
+		strings.NewReader(`{"machine":"ibmqx4","policy":"baseline","benchmark":"bv-4A","shots":100,"shotz":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+	}
+	if ae := decodeError(t, data); ae.Code != CodeBadRequest {
+		t.Fatalf("code %q, want %q", ae.Code, CodeBadRequest)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"biasmit/internal/chaos"
 	"biasmit/internal/server"
 )
 
@@ -47,20 +48,35 @@ func main() {
 	refreshInterval := flag.Duration("refresh-interval", 0, "background profile refresh period (0 = disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 	seed := flag.Int64("seed", 1, "base seed for characterization runs")
+	retryAttempts := flag.Int("retry-attempts", 4, "execution attempts per backend run before its transient error surfaces (1 disables retries)")
+	retryBaseDelay := flag.Duration("retry-base-delay", 50*time.Millisecond, "base delay for the full-jitter exponential retry backoff")
+	sliceShots := flag.Int("slice-shots", 0, "partial-shot salvage granularity: split runs into independently seeded slices of this many trials (0 = no slicing)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failed runs that open a machine's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker rejects work before probing again")
+	chaosPlan := chaos.Flags(flag.CommandLine)
 	flag.Parse()
+	if err := chaosPlan.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		MaxJobs:        *maxJobs,
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
-		MaxShots:       *maxShots,
-		ProfileShots:   *profileShots,
-		ProfileTTL:     *profileTTL,
-		Seed:           *seed,
+		Workers:          *workers,
+		MaxJobs:          *maxJobs,
+		DefaultTimeout:   *defaultTimeout,
+		MaxTimeout:       *maxTimeout,
+		MaxShots:         *maxShots,
+		ProfileShots:     *profileShots,
+		ProfileTTL:       *profileTTL,
+		Seed:             *seed,
+		Chaos:            *chaosPlan,
+		RetryAttempts:    *retryAttempts,
+		RetryBaseDelay:   *retryBaseDelay,
+		SliceShots:       *sliceShots,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	})
 	if *refreshInterval > 0 {
 		go srv.Store().RefreshLoop(ctx, *refreshInterval)

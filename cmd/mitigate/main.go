@@ -16,7 +16,9 @@ import (
 	"os"
 	"os/signal"
 
+	"biasmit/internal/backend"
 	"biasmit/internal/bitstring"
+	"biasmit/internal/chaos"
 	"biasmit/internal/core"
 	"biasmit/internal/device"
 	"biasmit/internal/dist"
@@ -25,6 +27,7 @@ import (
 	"biasmit/internal/metrics"
 	"biasmit/internal/persist"
 	"biasmit/internal/report"
+	"biasmit/internal/resilient"
 )
 
 func main() {
@@ -42,7 +45,12 @@ func main() {
 	profileFile := flag.String("profile", "", "load a saved RBMS profile (from characterize -out) instead of profiling")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical either way)")
 	timeout := flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
+	chaosPlan := chaos.Flags(flag.CommandLine)
+	retry := resilient.Flags(flag.CommandLine)
 	flag.Parse()
+	if err := chaosPlan.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -63,6 +71,7 @@ func main() {
 
 	m := core.NewMachine(dev)
 	m.Workers = *workers
+	m.Run = resilient.New(chaosPlan.Wrap(backend.RunContext), *retry).Run
 	job, err := core.NewJob(bench.Circuit, m)
 	if err != nil {
 		log.Fatal(err)

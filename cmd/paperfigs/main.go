@@ -11,16 +11,22 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
+	"biasmit/internal/backend"
+	"biasmit/internal/chaos"
 	"biasmit/internal/experiments"
+	"biasmit/internal/persist"
+	"biasmit/internal/resilient"
 )
 
 func main() {
@@ -32,7 +38,13 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: fig1,tab1,fig3,fig4,fig5,fig6,tab2,tab3,fig7,fig8,fig9,suite,fig11,fig13,fig15,repeat,ext,alloc,sched,scale,zne (suite = fig10+fig14+tab5)")
 	workers := flag.Int("workers", 0, "independent circuit executions run concurrently (0 = all CPUs, 1 = sequential; results are identical either way)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	outFile := flag.String("out", "", "also save the full report to this file (written atomically on success)")
+	chaosPlan := chaos.Flags(flag.CommandLine)
+	retry := resilient.Flags(flag.CommandLine)
 	flag.Parse()
+	if err := chaosPlan.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -43,6 +55,12 @@ func main() {
 	}
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}
+	if chaosPlan.Enabled() || retry.SliceShots > 0 {
+		// Only replace the default execution path when the flags ask for
+		// it, so the BIASMIT_CHAOS_* environment keeps working and the
+		// fault-free flag defaults stay byte-identical to older builds.
+		cfg.Runner = resilient.New(chaosPlan.Wrap(backend.RunContext), *retry).Run
+	}
 	selected := map[string]bool{}
 	if *only != "" {
 		for _, name := range strings.Split(*only, ",") {
@@ -50,6 +68,12 @@ func main() {
 		}
 	}
 	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	var buf bytes.Buffer
+	w := io.Writer(os.Stdout)
+	if *outFile != "" {
+		w = io.MultiWriter(os.Stdout, &buf)
+	}
 
 	run := func(name, title string, f func() (string, error)) {
 		if !want(name) {
@@ -60,7 +84,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		fmt.Printf("==== %s — %s (%.1fs) ====\n%s\n", strings.ToUpper(name), title, time.Since(start).Seconds(), out)
+		fmt.Fprintf(w, "==== %s — %s (%.1fs) ====\n%s\n", strings.ToUpper(name), title, time.Since(start).Seconds(), out)
 	}
 
 	run("fig1", "Invert-and-Measure on IBM-Q5 (motivating example)", func() (string, error) {
@@ -112,11 +136,11 @@ func main() {
 			log.Fatalf("suite: %v", err)
 		}
 		elapsed := time.Since(start).Seconds()
-		fmt.Printf("==== FIG10 — SIM PST improvement (%.1fs for the whole suite) ====\n%s\n", elapsed, suite.Figure10())
-		fmt.Printf("==== FIG14 — SIM and AIM PST improvement ====\n%s\n", suite.Figure14())
-		fmt.Printf("==== TAB5 — inference strength per policy ====\n%s\n", suite.Table5())
+		fmt.Fprintf(w, "==== FIG10 — SIM PST improvement (%.1fs for the whole suite) ====\n%s\n", elapsed, suite.Figure10())
+		fmt.Fprintf(w, "==== FIG14 — SIM and AIM PST improvement ====\n%s\n", suite.Figure14())
+		fmt.Fprintf(w, "==== TAB5 — inference strength per policy ====\n%s\n", suite.Table5())
 		sim, aim := suite.MeanImprovement()
-		fmt.Printf("mean PST improvement: SIM %.2fx, AIM %.2fx (paper: up to 2X and 3X)\n\n", sim, aim)
+		fmt.Fprintf(w, "mean PST improvement: SIM %.2fx, AIM %.2fx (paper: up to 2X and 3X)\n\n", sim, aim)
 	}
 	run("fig11", "ibmqx4 arbitrary bias and its effect on BV", func() (string, error) {
 		r, err := experiments.Figure11(ctx, cfg)
@@ -154,4 +178,15 @@ func main() {
 		r, err := experiments.ZNEComparison(ctx, cfg)
 		return r.Render(), err
 	})
+
+	if *outFile != "" {
+		err := persist.WriteFileAtomic(*outFile, func(f io.Writer) error {
+			_, err := f.Write(buf.Bytes())
+			return err
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report saved to %s\n", *outFile)
+	}
 }

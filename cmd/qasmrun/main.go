@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -19,11 +20,15 @@ import (
 	"os/signal"
 	"syscall"
 
+	"biasmit/internal/backend"
+	"biasmit/internal/chaos"
 	"biasmit/internal/core"
 	"biasmit/internal/device"
 	"biasmit/internal/dist"
+	"biasmit/internal/persist"
 	"biasmit/internal/qasm"
 	"biasmit/internal/report"
+	"biasmit/internal/resilient"
 )
 
 func main() {
@@ -36,10 +41,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	policy := flag.String("policy", "baseline", "measurement policy: baseline, sim")
 	top := flag.Int("top", 10, "how many outcomes to print")
+	outFile := flag.String("out", "", "also save the report to this file (written atomically)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 	workers := flag.Int("workers", 0, "goroutines for SIM inversion groups / baseline trial "+
 		"partitions (0 = sequential)")
+	chaosPlan := chaos.Flags(flag.CommandLine)
+	retry := resilient.Flags(flag.CommandLine)
 	flag.Parse()
+	if err := chaosPlan.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -70,6 +81,7 @@ func main() {
 	}
 	m := core.NewMachine(dev)
 	m.Workers = *workers // SIM runs its inversion groups as parallel jobs
+	m.Run = resilient.New(chaosPlan.Wrap(backend.RunContext), *retry).Run
 	job, err := core.NewJob(c, m)
 	if err != nil {
 		log.Fatal(err)
@@ -96,11 +108,25 @@ func main() {
 	}
 
 	d := counts.Dist()
-	fmt.Printf("%s on %s (%s), %d trials, layout %v, %d swaps\n\n",
+	var buf bytes.Buffer
+	w := io.Writer(os.Stdout)
+	if *outFile != "" {
+		w = io.MultiWriter(os.Stdout, &buf)
+	}
+	fmt.Fprintf(w, "%s on %s (%s), %d trials, layout %v, %d swaps\n\n",
 		c.Name, dev.Name, *policy, *shots, job.Plan.InitialLayout, job.Plan.SwapCount)
 	var rows [][]string
 	for _, b := range d.TopK(*top) {
 		rows = append(rows, []string{b.String(), fmt.Sprint(counts.Get(b)), report.F(d.Prob(b))})
 	}
-	fmt.Print(report.Table([]string{"outcome", "count", "probability"}, rows))
+	fmt.Fprint(w, report.Table([]string{"outcome", "count", "probability"}, rows))
+	if *outFile != "" {
+		err := persist.WriteFileAtomic(*outFile, func(f io.Writer) error {
+			_, err := f.Write(buf.Bytes())
+			return err
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -20,13 +22,16 @@ import (
 
 	"biasmit/internal/backend"
 	"biasmit/internal/bitstring"
+	"biasmit/internal/chaos"
 	"biasmit/internal/core"
 	"biasmit/internal/device"
 	"biasmit/internal/kernels"
 	"biasmit/internal/maxcut"
 	"biasmit/internal/metrics"
+	"biasmit/internal/persist"
 	"biasmit/internal/qasm"
 	"biasmit/internal/report"
+	"biasmit/internal/resilient"
 )
 
 func main() {
@@ -41,12 +46,18 @@ func main() {
 	shots := flag.Int("shots", 8192, "number of trials")
 	seed := flag.Int64("seed", 1, "random seed")
 	top := flag.Int("top", 10, "how many outcomes to print")
+	outFile := flag.String("out", "", "also save the report to this file (written atomically)")
 	ideal := flag.Bool("ideal", false, "disable all noise")
 	dumpQASM := flag.Bool("qasm", false, "print the transpiled circuit as OpenQASM 2.0 and exit")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 	workers := flag.Int("workers", 0, "partition the trial loop across this many goroutines; "+
 		"results are deterministic per (seed, workers) pair (0 = single stream)")
+	chaosPlan := chaos.Flags(flag.CommandLine)
+	retry := resilient.Flags(flag.CommandLine)
 	flag.Parse()
+	if err := chaosPlan.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -100,6 +111,7 @@ func main() {
 		m.Opt = backend.Options{NoGateNoise: true, NoDecay: true, NoReadoutError: true}
 	}
 	m.Opt.Workers = *workers
+	m.Run = resilient.New(chaosPlan.Wrap(backend.RunContext), *retry).Run
 	job, err := core.NewJob(bench.Circuit, m)
 	if err != nil {
 		log.Fatal(err)
@@ -114,17 +126,31 @@ func main() {
 	}
 	d := counts.Dist()
 
-	fmt.Printf("%s on %s, %d trials (layout %v, %d swaps)\n\n",
+	var buf bytes.Buffer
+	w := io.Writer(os.Stdout)
+	if *outFile != "" {
+		w = io.MultiWriter(os.Stdout, &buf)
+	}
+	fmt.Fprintf(w, "%s on %s, %d trials (layout %v, %d swaps)\n\n",
 		bench.Name, dev.Name, *shots, job.Plan.InitialLayout, job.Plan.SwapCount)
 	rows := [][]string{}
 	for _, b := range d.TopK(*top) {
 		rows = append(rows, []string{b.String(), fmt.Sprint(counts.Get(b)), report.F(d.Prob(b))})
 	}
-	fmt.Fprint(os.Stdout, report.Table([]string{"outcome", "count", "probability"}, rows))
+	fmt.Fprint(w, report.Table([]string{"outcome", "count", "probability"}, rows))
 	if len(bench.Correct) > 0 {
-		fmt.Printf("\nPST  %.4f\nIST  %.4f\nROCA %d\n",
+		fmt.Fprintf(w, "\nPST  %.4f\nIST  %.4f\nROCA %d\n",
 			metrics.PSTEquiv(d, bench.Correct...),
 			metrics.IST(d, bench.Correct...),
 			metrics.ROCA(d, bench.Correct...))
+	}
+	if *outFile != "" {
+		err := persist.WriteFileAtomic(*outFile, func(f io.Writer) error {
+			_, err := f.Write(buf.Bytes())
+			return err
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 }

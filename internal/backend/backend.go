@@ -32,6 +32,40 @@ import (
 	"biasmit/internal/schedule"
 )
 
+// Runner is the signature of RunContext: one circuit execution on one
+// device under one set of options. Layers that sit between a caller and
+// the backend — fault injection (internal/chaos) and retrying execution
+// (internal/resilient) — implement and accept this type, so the whole
+// execution path is composable: a core.Machine can run against the raw
+// backend, a chaos-wrapped backend, or a retrying executor without any
+// caller changing.
+type Runner func(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt Options) (*dist.Counts, error)
+
+// TransientError marks a failure of the execution environment rather
+// than of the request: the run may succeed if simply tried again. The
+// retrying executor (internal/resilient) retries errors that wrap a
+// TransientError; every other error — budget violations, qasm and
+// transpile failures, context endings — is permanent and fails fast.
+//
+// The real hardware analogue is a queue hiccup, a calibration window, or
+// a dropped connection; in this repo transient errors are produced by
+// the fault injector (internal/chaos).
+type TransientError struct {
+	// Op names the phase that hiccuped (e.g. "run", "chaos").
+	Op string
+	// Err is the underlying cause, if any.
+	Err error
+}
+
+func (e *TransientError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("backend: transient %s failure", e.Op)
+	}
+	return fmt.Sprintf("backend: transient %s failure: %v", e.Op, e.Err)
+}
+
+func (e *TransientError) Unwrap() error { return e.Err }
+
 // MaxShots caps a single run's trial budget. SIM/AIM callers multiply
 // per-group budgets by group counts (and experiment drivers multiply by
 // scale factors); without a ceiling those products can overflow int and

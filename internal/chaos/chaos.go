@@ -1,0 +1,302 @@
+// Package chaos injects faults into the backend execution path so the
+// resilience layer (internal/resilient) and everything above it can be
+// tested against the failure modes real NISQ services exhibit: transient
+// queue errors, latency spikes, runs that blow their deadline, and jobs
+// that return only part of the requested trials.
+//
+// The injector wraps a backend.Runner. Its fault schedule is
+// deterministic and seed-derived: every intercepted call draws one
+// splitmix64 stream keyed by (Plan.Seed, attempt index) — the same
+// seeding discipline internal/orchestrate uses for job seeds — so a
+// sequential run replays the identical fault sequence at the same seed.
+// Under concurrency the attempt indices interleave nondeterministically,
+// which is fine by construction: the resilience layer's salvage
+// mechanism guarantees results are independent of where faults land, and
+// the chaos CI job exists to enforce exactly that property.
+//
+// Faults never corrupt results: an injected failure either returns a
+// typed *backend.TransientError (optionally after completing m < shots
+// trials, simulating a partial job), delays the run (latency spike), or
+// parks the run until the context deadline (stall). A successful call is
+// byte-identical to an uninjected one.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"biasmit/internal/backend"
+	"biasmit/internal/circuit"
+	"biasmit/internal/device"
+	"biasmit/internal/dist"
+	"biasmit/internal/orchestrate"
+)
+
+// Plan configures the fault schedule. The zero value injects nothing;
+// rates are probabilities in [0,1] and are evaluated in the order
+// transient, partial, latency, stall from a single uniform draw, so
+// their sum must stay ≤ 1.
+type Plan struct {
+	// Seed drives the fault schedule. Equal seeds replay equal schedules
+	// for sequential callers.
+	Seed int64
+	// TransientRate is the probability a call fails immediately with a
+	// *backend.TransientError, having done no work.
+	TransientRate float64
+	// PartialRate is the probability a call completes only m < shots
+	// trials (m drawn uniformly) and then fails transiently — the work
+	// is really performed and then lost, like a job evicted mid-run.
+	PartialRate float64
+	// LatencyRate is the probability a call is delayed by a uniform
+	// fraction of Latency before executing normally.
+	LatencyRate float64
+	// Latency is the maximum injected delay (default 50ms when a latency
+	// fault fires with a zero Latency).
+	Latency time.Duration
+	// StallRate is the probability a call blocks until its context
+	// deadline and returns the context error — the fault that exercises
+	// deadline handling end to end. Calls without a deadline degrade to a
+	// plain transient failure instead of hanging forever.
+	StallRate float64
+	// FailFirst deterministically fails the first N intercepted calls
+	// with a transient error before the probabilistic schedule applies.
+	// This is the knob breaker tests use: N failures open the breaker,
+	// call N+1 succeeds and closes it again.
+	FailFirst int
+}
+
+// Enabled reports whether the plan injects any fault at all.
+func (p Plan) Enabled() bool {
+	return p.TransientRate > 0 || p.PartialRate > 0 || p.LatencyRate > 0 ||
+		p.StallRate > 0 || p.FailFirst > 0
+}
+
+// Validate rejects malformed rates.
+func (p Plan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"transient", p.TransientRate},
+		{"partial", p.PartialRate},
+		{"latency", p.LatencyRate},
+		{"stall", p.StallRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("chaos: %s rate %v out of [0,1]", r.name, r.v)
+		}
+	}
+	if sum := p.TransientRate + p.PartialRate + p.LatencyRate + p.StallRate; sum > 1 {
+		return fmt.Errorf("chaos: fault rates sum to %v > 1", sum)
+	}
+	if p.FailFirst < 0 {
+		return fmt.Errorf("chaos: fail-first %d is negative", p.FailFirst)
+	}
+	return nil
+}
+
+// Stats counts injected faults since the injector was created.
+type Stats struct {
+	Calls      uint64
+	Transients uint64
+	Partials   uint64
+	Latencies  uint64
+	Stalls     uint64
+}
+
+// Injector intercepts backend runs according to a Plan. Construct with
+// New; safe for concurrent use.
+type Injector struct {
+	plan Plan
+	run  backend.Runner
+
+	attempt    atomic.Int64 // next fault-schedule stream index
+	calls      atomic.Uint64
+	transients atomic.Uint64
+	partials   atomic.Uint64
+	latencies  atomic.Uint64
+	stalls     atomic.Uint64
+}
+
+// New wraps run with fault injection under plan.
+func New(plan Plan, run backend.Runner) *Injector {
+	return &Injector{plan: plan, run: run}
+}
+
+// Wrap returns a backend.Runner injecting faults under p. A disabled
+// plan returns run unchanged, so wiring chaos unconditionally costs
+// nothing in production paths.
+func (p Plan) Wrap(run backend.Runner) backend.Runner {
+	if !p.Enabled() {
+		return run
+	}
+	return New(p, run).Run
+}
+
+// Stats returns the fault counters so far.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Calls:      in.calls.Load(),
+		Transients: in.transients.Load(),
+		Partials:   in.partials.Load(),
+		Latencies:  in.latencies.Load(),
+		Stalls:     in.stalls.Load(),
+	}
+}
+
+// transientf builds the typed transient error every injected failure
+// carries.
+func transientf(format string, args ...any) error {
+	return &backend.TransientError{Op: "chaos", Err: fmt.Errorf(format, args...)}
+}
+
+// Run is the injector's backend.Runner. Each call consumes one attempt
+// index from the schedule; the fault (if any) for that index is a pure
+// function of (Plan.Seed, index).
+func (in *Injector) Run(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt backend.Options) (*dist.Counts, error) {
+	attempt := in.attempt.Add(1) - 1
+	in.calls.Add(1)
+	if attempt < int64(in.plan.FailFirst) {
+		in.transients.Add(1)
+		return nil, transientf("injected fail-first failure %d/%d", attempt+1, in.plan.FailFirst)
+	}
+	rng := rand.New(rand.NewSource(orchestrate.DeriveSeed(in.plan.Seed, int(attempt))))
+	u := rng.Float64()
+	switch {
+	case u < in.plan.TransientRate:
+		in.transients.Add(1)
+		return nil, transientf("injected transient failure (attempt %d)", attempt)
+	case u < in.plan.TransientRate+in.plan.PartialRate:
+		in.partials.Add(1)
+		return nil, in.partial(ctx, c, dev, opt, rng, attempt)
+	case u < in.plan.TransientRate+in.plan.PartialRate+in.plan.LatencyRate:
+		in.latencies.Add(1)
+		if err := in.spike(ctx, rng); err != nil {
+			return nil, err
+		}
+	case u < in.plan.TransientRate+in.plan.PartialRate+in.plan.LatencyRate+in.plan.StallRate:
+		in.stalls.Add(1)
+		if _, ok := ctx.Deadline(); !ok {
+			// No deadline to blow: degrade to a transient failure rather
+			// than hanging an undeadlined caller forever.
+			return nil, transientf("injected stall (no deadline to exhaust, attempt %d)", attempt)
+		}
+		<-ctx.Done()
+		return nil, fmt.Errorf("chaos: injected stall exhausted the deadline (attempt %d): %w", attempt, ctx.Err())
+	}
+	return in.run(ctx, c, dev, opt)
+}
+
+// partial completes m < shots trials for real — consuming the same
+// per-trial RNG stream prefix the full run would — and then reports a
+// transient failure, so the caller observes a job evicted mid-run. The
+// completed trials are genuinely lost (the resilience layer salvages at
+// slice granularity, never inside a failed call), which is exactly the
+// waste the salvage mechanism bounds.
+func (in *Injector) partial(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt backend.Options, rng *rand.Rand, attempt int64) error {
+	m := 0
+	if opt.Shots > 1 {
+		m = rng.Intn(opt.Shots) // 0 ≤ m < shots
+	}
+	if m > 0 {
+		partialOpt := opt
+		partialOpt.Shots = m
+		if _, err := in.run(ctx, c, dev, partialOpt); err != nil {
+			// The underlying run failed on its own; report that, but keep
+			// it transient so the retry semantics stay uniform.
+			if ctx.Err() != nil {
+				return err
+			}
+			return &backend.TransientError{Op: "chaos", Err: err}
+		}
+	}
+	return transientf("injected partial result: %d of %d trials completed (attempt %d)", m, opt.Shots, attempt)
+}
+
+// spike sleeps a uniform fraction of Plan.Latency, honouring ctx.
+func (in *Injector) spike(ctx context.Context, rng *rand.Rand) error {
+	max := in.plan.Latency
+	if max <= 0 {
+		max = 50 * time.Millisecond
+	}
+	d := time.Duration(rng.Int63n(int64(max) + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Flags registers the -chaos-* flag family on fs (flag.CommandLine when
+// nil) and returns the Plan they populate. All CLIs share this helper so
+// the fault-injection surface is uniform across binaries.
+func Flags(fs *flag.FlagSet) *Plan {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	p := &Plan{}
+	fs.Int64Var(&p.Seed, "chaos-seed", 1, "seed for the deterministic fault schedule")
+	fs.Float64Var(&p.TransientRate, "chaos-transient", 0, "probability a backend call fails with a transient error")
+	fs.Float64Var(&p.PartialRate, "chaos-partial", 0, "probability a backend call completes only part of its trials, then fails")
+	fs.Float64Var(&p.LatencyRate, "chaos-latency-rate", 0, "probability a backend call is delayed before executing")
+	fs.DurationVar(&p.Latency, "chaos-latency", 50*time.Millisecond, "maximum injected delay for latency faults")
+	fs.Float64Var(&p.StallRate, "chaos-stall", 0, "probability a backend call blocks until its deadline")
+	fs.IntVar(&p.FailFirst, "chaos-fail-first", 0, "deterministically fail this many calls before the probabilistic schedule applies")
+	return p
+}
+
+// Environment variables read by FromEnv. The chaos CI job sets these so
+// the entire test suite runs with fault injection enabled without any
+// test knowing about it.
+const (
+	EnvTransient = "BIASMIT_CHAOS_TRANSIENT"
+	EnvPartial   = "BIASMIT_CHAOS_PARTIAL"
+	EnvSeed      = "BIASMIT_CHAOS_SEED"
+)
+
+// FromEnv builds a Plan from the BIASMIT_CHAOS_* environment variables.
+// It returns a zero (disabled) plan when none are set and an error when
+// one is set but unparsable.
+func FromEnv() (Plan, error) {
+	var p Plan
+	parse := func(name string, dst *float64) error {
+		v := os.Getenv(name)
+		if v == "" {
+			return nil
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("chaos: parsing %s=%q: %w", name, v, err)
+		}
+		*dst = f
+		return nil
+	}
+	if err := errors.Join(
+		parse(EnvTransient, &p.TransientRate),
+		parse(EnvPartial, &p.PartialRate),
+	); err != nil {
+		return Plan{}, err
+	}
+	p.Seed = 1
+	if v := os.Getenv(EnvSeed); v != "" {
+		s, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return Plan{}, fmt.Errorf("chaos: parsing %s=%q: %w", EnvSeed, v, err)
+		}
+		p.Seed = s
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}

@@ -51,10 +51,26 @@ type Machine struct {
 	// bit-identical across worker counts — unlike Opt.Workers, which
 	// repartitions the random streams inside a single run.
 	Workers int
+	// Run, when set, replaces backend.RunContext for every circuit
+	// execution on this machine. This is where the resilience stack
+	// plugs in: a *resilient.Executor (optionally wrapping a chaos fault
+	// injector) makes every SIM/AIM group, profiler preparation, and
+	// baseline run on this machine retry transient failures
+	// independently — one flaky group no longer discards its siblings'
+	// finished work. Nil runs the backend directly.
+	Run backend.Runner
 }
 
 // workers resolves the job-level parallelism for this machine.
 func (m *Machine) workers() int { return orchestrate.Workers(m.Workers) }
+
+// Runner resolves the execution path for this machine.
+func (m *Machine) Runner() backend.Runner {
+	if m.Run != nil {
+		return m.Run
+	}
+	return backend.RunContext
+}
 
 // NewMachine returns a Machine with default (fully noisy) options.
 func NewMachine(dev *device.Device) *Machine {
@@ -110,7 +126,7 @@ func (j *Job) RunWithInversionContext(ctx context.Context, s bitstring.Bits, sho
 	opt := j.Machine.Opt
 	opt.Shots = shots
 	opt.Seed = seed
-	raw, err := backend.RunContext(ctx, j.Plan.WithInversion(s), j.Machine.Device, opt)
+	raw, err := j.Machine.Runner()(ctx, j.Plan.WithInversion(s), j.Machine.Device, opt)
 	if err != nil {
 		return nil, err
 	}

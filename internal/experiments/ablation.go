@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"biasmit/internal/backend"
 	"biasmit/internal/bitstring"
 	"biasmit/internal/core"
 	"biasmit/internal/device"
@@ -41,7 +40,7 @@ func AllocationComparison(ctx context.Context, cfg Config) (AllocationComparison
 		opt := m.Opt
 		opt.Shots = shots
 		opt.Seed = seed
-		raw, err := backend.RunContext(ctx, plan.Physical, dev, opt)
+		raw, err := m.Runner()(ctx, plan.Physical, dev, opt)
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,44 @@
+package persist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file via a temporary sibling and a rename, so
+// a crash, a full disk, or a concurrent reader never observes a
+// half-written artifact: the target either keeps its old contents or
+// holds the complete new ones. write receives the temporary file's
+// writer; any error from it (or from syncing and renaming) leaves the
+// target untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: creating temp file for %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("persist: writing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("persist: closing temp file for %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: renaming into %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package persist
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicWritesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("content %q, want %q", got, "first")
+	}
+
+	// Overwriting replaces the whole file, not just a prefix.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "x")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "x" {
+		t.Fatalf("content after rewrite %q, want %q", got, "x")
+	}
+}
+
+func TestWriteFileAtomicKeepsOldContentOnError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("writer failed")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want %v", err, boom)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "precious" {
+		t.Fatalf("target clobbered on failed write: %q", got)
+	}
+
+	// No stray temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFileAtomicRelativePath(t *testing.T) {
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+
+	if err := WriteFileAtomic("bare.txt", func(w io.Writer) error {
+		_, err := io.WriteString(w, "ok")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(filepath.Join(dir, "bare.txt")); string(got) != "ok" {
+		t.Fatalf("content %q, want %q", got, "ok")
+	}
+}
+
+func TestWriteFileAtomicBadDirectory(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "missing", "out.json"), func(w io.Writer) error {
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error for a missing destination directory")
+	}
+}

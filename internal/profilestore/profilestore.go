@@ -91,6 +91,7 @@ type Stats struct {
 	CharacterizeErrors uint64
 	Refreshes          uint64
 	RefreshErrors      uint64
+	DegradedServes     uint64
 	Entries            int
 }
 
@@ -196,6 +197,39 @@ func (s *Store) GetOrCharacterize(ctx context.Context, key Key) (*Profile, bool,
 	s.mu.Unlock()
 	s.run(ctx, key, c, false)
 	return c.profile, false, c.err
+}
+
+// ServeResult reports how Serve satisfied a lookup.
+type ServeResult struct {
+	// Cached is true when the profile came from the cache rather than a
+	// characterization run on this call.
+	Cached bool
+	// Degraded is true when the served profile had outlived its TTL and
+	// re-characterization failed: stale data beats no data, but the
+	// caller must surface the degradation.
+	Degraded bool
+}
+
+// Serve is GetOrCharacterize with graceful degradation: when the
+// profile is missing-or-stale and re-learning it fails, a stale cached
+// profile (kept through both TTL expiry and failed background
+// refreshes) is served flagged Degraded instead of erroring. Only a key
+// with no profile at all surfaces the characterization error.
+func (s *Store) Serve(ctx context.Context, key Key) (*Profile, ServeResult, error) {
+	p, cached, err := s.GetOrCharacterize(ctx, key)
+	if err == nil {
+		return p, ServeResult{Cached: cached}, nil
+	}
+	s.mu.Lock()
+	stale := s.profiles[key]
+	if stale != nil {
+		s.stats.DegradedServes++
+	}
+	s.mu.Unlock()
+	if stale != nil {
+		return stale, ServeResult{Cached: true, Degraded: true}, nil
+	}
+	return nil, ServeResult{}, err
 }
 
 // Characterize forces a fresh characterization for key regardless of

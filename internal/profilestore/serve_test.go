@@ -1,0 +1,73 @@
+package profilestore
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestServeFallsBackToStaleProfile(t *testing.T) {
+	clock := newFakeClock()
+	var fail atomic.Bool
+	var calls atomic.Int64
+	wantErr := errors.New("machine offline")
+	key := Key{Machine: "ibmqx4", Width: 3, Method: "brute"}
+	s := New(func(ctx context.Context, k Key) (*Profile, error) {
+		n := calls.Add(1)
+		if fail.Load() {
+			return nil, wantErr
+		}
+		return uniformProfile(k, float64(n)), nil
+	}, Options{TTL: 10 * time.Minute, Now: clock.now})
+
+	p1, res, err := s.Serve(context.Background(), key)
+	if err != nil || res.Cached || res.Degraded {
+		t.Fatalf("first serve: res=%+v err=%v, want a fresh characterization", res, err)
+	}
+
+	// Fresh profile: plain cache hit, no degradation.
+	if _, res, err = s.Serve(context.Background(), key); err != nil || !res.Cached || res.Degraded {
+		t.Fatalf("second serve: res=%+v err=%v, want a cache hit", res, err)
+	}
+
+	// Past the TTL with characterization failing: the stale profile is
+	// served, flagged degraded.
+	clock.advance(11 * time.Minute)
+	fail.Store(true)
+	p3, res, err := s.Serve(context.Background(), key)
+	if err != nil {
+		t.Fatalf("degraded serve errored: %v", err)
+	}
+	if !res.Cached || !res.Degraded {
+		t.Fatalf("degraded serve res=%+v, want cached and degraded", res)
+	}
+	if p3 != p1 {
+		t.Fatal("degraded serve returned a different profile than the stale cache entry")
+	}
+	if !s.Stale(p3) {
+		t.Fatal("the degraded profile should read as stale")
+	}
+
+	// A key with no cached profile still surfaces the error.
+	missing := Key{Machine: "ibmqx4", Width: 2, Method: "brute"}
+	if _, _, err := s.Serve(context.Background(), missing); !errors.Is(err, wantErr) {
+		t.Fatalf("missing-profile serve error = %v, want %v", err, wantErr)
+	}
+
+	if st := s.StatsSnapshot(); st.DegradedServes != 1 {
+		t.Fatalf("DegradedServes = %d, want 1", st.DegradedServes)
+	}
+
+	// Recovery: once characterization works again, Serve re-learns and
+	// drops the degraded flag.
+	fail.Store(false)
+	p5, res, err := s.Serve(context.Background(), key)
+	if err != nil || res.Degraded {
+		t.Fatalf("recovered serve res=%+v err=%v", res, err)
+	}
+	if p5 == p1 {
+		t.Fatal("recovered serve should carry a re-learned profile")
+	}
+}

@@ -1,0 +1,188 @@
+package resilient
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Breaker states. A breaker protects one machine: while it is open,
+// runs are rejected immediately instead of queuing work behind a
+// backend that keeps failing.
+const (
+	StateClosed   = "closed"    // normal operation
+	StateOpen     = "open"      // rejecting runs until the cooldown ends
+	StateHalfOpen = "half-open" // cooldown over; one probe in flight
+)
+
+// BreakerOptions tunes a Breaker. Zero values select the defaults.
+type BreakerOptions struct {
+	// Threshold is how many consecutive run failures open the breaker
+	// (default 5). Failures are counted at run granularity — after the
+	// executor has exhausted its retries — not per attempt.
+	Threshold int
+	// Cooldown is how long the breaker stays open before letting one
+	// probe through (default 30s).
+	Cooldown time.Duration
+	// Now overrides the clock, for tests.
+	Now func() time.Time
+}
+
+// BreakerStats counts state transitions since the breaker was created.
+type BreakerStats struct {
+	Opened     uint64 // transitions into open (including half-open → open)
+	HalfOpened uint64 // transitions open → half-open (probe admitted)
+	Closed     uint64 // transitions half-open → closed (probe succeeded)
+	Rejected   uint64 // runs refused while open or during a probe
+}
+
+// Breaker is a closed/open/half-open circuit breaker with a cooldown
+// clock. Construct with NewBreaker; safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    string
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	stats    BreakerStats
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(opt BreakerOptions) *Breaker {
+	if opt.Threshold <= 0 {
+		opt.Threshold = 5
+	}
+	if opt.Cooldown <= 0 {
+		opt.Cooldown = 30 * time.Second
+	}
+	if opt.Now == nil {
+		opt.Now = time.Now
+	}
+	return &Breaker{threshold: opt.Threshold, cooldown: opt.Cooldown, now: opt.Now, state: StateClosed}
+}
+
+// Allow reports whether a run may proceed. While open it returns false
+// with the time left until a probe will be admitted; once the cooldown
+// has elapsed the first caller becomes the half-open probe and later
+// callers are rejected until the probe reports Success or Failure.
+func (b *Breaker) Allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true, 0
+	case StateOpen:
+		remaining := b.cooldown - b.now().Sub(b.openedAt)
+		if remaining > 0 {
+			b.stats.Rejected++
+			return false, remaining
+		}
+		b.state = StateHalfOpen
+		b.probing = true
+		b.stats.HalfOpened++
+		return true, 0
+	default: // half-open
+		if !b.probing {
+			b.probing = true
+			return true, 0
+		}
+		b.stats.Rejected++
+		return false, b.cooldown
+	}
+}
+
+// Success reports a completed run: a half-open probe closes the breaker;
+// a closed breaker forgets its consecutive-failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateHalfOpen:
+		b.state = StateClosed
+		b.probing = false
+		b.failures = 0
+		b.stats.Closed++
+	case StateClosed:
+		b.failures = 0
+	}
+}
+
+// Failure reports a failed run: a half-open probe reopens the breaker;
+// a closed breaker opens once Threshold consecutive runs have failed.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateHalfOpen:
+		b.state = StateOpen
+		b.probing = false
+		b.openedAt = b.now()
+		b.stats.Opened++
+	case StateClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = StateOpen
+			b.openedAt = b.now()
+			b.stats.Opened++
+		}
+	}
+}
+
+// Cancel reports a run that ended without a verdict on the machine —
+// typically the caller's context ended first. A half-open probe slot is
+// released without a state transition so the next caller can probe; a
+// closed or open breaker is left untouched.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateHalfOpen {
+		b.probing = false
+	}
+}
+
+// State returns the current state string.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// An expired open breaker is morally half-openable; report it as
+	// open until a caller actually probes, so observers see the truth of
+	// what Allow would have done before their read.
+	return b.state
+}
+
+// RetryAfter returns how long until an open breaker admits a probe
+// (zero when not open or already due).
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != StateOpen {
+		return 0
+	}
+	if remaining := b.cooldown - b.now().Sub(b.openedAt); remaining > 0 {
+		return remaining
+	}
+	return 0
+}
+
+// Stats returns the transition counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// BreakerOpenError reports a run rejected because the machine's breaker
+// is open. The serving layer maps it onto 503 + Retry-After with the
+// breaker_open code.
+type BreakerOpenError struct {
+	Machine    string
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("resilient: circuit breaker for %s is open (retry in %s)", e.Machine, e.RetryAfter.Round(time.Millisecond))
+}

@@ -1,0 +1,171 @@
+package resilient
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock safe for concurrent reads.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := newFakeClock()
+	return NewBreaker(BreakerOptions{Threshold: threshold, Cooldown: cooldown, Now: clk.now}), clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	br, _ := newTestBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		br.Failure()
+		if br.State() != StateClosed {
+			t.Fatalf("after %d failures state %q, want closed", i+1, br.State())
+		}
+	}
+	br.Failure()
+	if br.State() != StateOpen {
+		t.Fatalf("state %q, want open at the threshold", br.State())
+	}
+	if ok, retryAfter := br.Allow(); ok || retryAfter <= 0 || retryAfter > time.Minute {
+		t.Fatalf("Allow() = %v, %v on an open breaker", ok, retryAfter)
+	}
+	if s := br.Stats(); s.Opened != 1 || s.Rejected != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	br, _ := newTestBreaker(3, time.Minute)
+	br.Failure()
+	br.Failure()
+	br.Success()
+	br.Failure()
+	br.Failure()
+	if br.State() != StateClosed {
+		t.Fatal("a success must reset the consecutive-failure count")
+	}
+}
+
+func TestBreakerHalfOpenProbeAndRecovery(t *testing.T) {
+	br, clk := newTestBreaker(1, time.Minute)
+	br.Failure()
+	if br.State() != StateOpen {
+		t.Fatal("want open")
+	}
+	if ok, _ := br.Allow(); ok {
+		t.Fatal("want rejection before the cooldown")
+	}
+	clk.advance(61 * time.Second)
+	ok, _ := br.Allow()
+	if !ok {
+		t.Fatal("want a probe admitted after the cooldown")
+	}
+	if br.State() != StateHalfOpen {
+		t.Fatalf("state %q, want half-open while probing", br.State())
+	}
+	// Only one probe at a time: a second caller is rejected.
+	if ok, _ := br.Allow(); ok {
+		t.Fatal("half-open must admit exactly one probe")
+	}
+	br.Success()
+	if br.State() != StateClosed {
+		t.Fatalf("state %q, want closed after a successful probe", br.State())
+	}
+	if ok, _ := br.Allow(); !ok {
+		t.Fatal("closed breaker must admit work")
+	}
+	if s := br.Stats(); s.Opened != 1 || s.HalfOpened != 1 || s.Closed != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	br, clk := newTestBreaker(1, time.Minute)
+	br.Failure()
+	clk.advance(2 * time.Minute)
+	if ok, _ := br.Allow(); !ok {
+		t.Fatal("want a probe")
+	}
+	br.Failure()
+	if br.State() != StateOpen {
+		t.Fatalf("state %q, want reopened after a failed probe", br.State())
+	}
+	// The cooldown restarts from the failed probe.
+	if ok, _ := br.Allow(); ok {
+		t.Fatal("want rejection during the fresh cooldown")
+	}
+	clk.advance(2 * time.Minute)
+	if ok, _ := br.Allow(); !ok {
+		t.Fatal("want a second probe after the fresh cooldown")
+	}
+}
+
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	br, clk := newTestBreaker(1, time.Minute)
+	br.Failure()
+	clk.advance(2 * time.Minute)
+	if ok, _ := br.Allow(); !ok {
+		t.Fatal("want a probe")
+	}
+	br.Cancel()
+	if br.State() != StateHalfOpen {
+		t.Fatalf("state %q, want half-open unchanged by a cancelled probe", br.State())
+	}
+	if ok, _ := br.Allow(); !ok {
+		t.Fatal("the probe slot must be reusable after Cancel")
+	}
+}
+
+// TestBreakerConcurrency drives the breaker from many goroutines so the
+// race detector can check the locking. Invariant: the state is always
+// one of the three names, and Allow never panics.
+func TestBreakerConcurrency(t *testing.T) {
+	br, clk := newTestBreaker(5, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if ok, _ := br.Allow(); ok {
+					if (g+i)%3 == 0 {
+						br.Failure()
+					} else {
+						br.Success()
+					}
+				}
+				if i%50 == 0 {
+					clk.advance(time.Millisecond)
+				}
+				switch br.State() {
+				case StateClosed, StateOpen, StateHalfOpen:
+				default:
+					t.Errorf("impossible state %q", br.State())
+					return
+				}
+				br.RetryAfter()
+				br.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

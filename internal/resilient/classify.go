@@ -1,0 +1,34 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+
+	"biasmit/internal/backend"
+)
+
+// IsTransient classifies an error chain as retryable or permanent.
+//
+// Classification is permanent-first: any evidence of a permanent cause
+// anywhere in the chain vetoes a transient marker, so a
+// *backend.BudgetError (a caller mistake — retrying can only waste the
+// machine) or a context ending (the caller's deadline is gone — retrying
+// cannot beat it) is never retried even if some layer wrapped it in a
+// *backend.TransientError. Only a chain whose sole failure evidence is a
+// TransientError is retryable. The fuzz test in this package holds the
+// classifier to the BudgetError half of that contract against random
+// wrapped chains.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var be *backend.BudgetError
+	if errors.As(err, &be) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var te *backend.TransientError
+	return errors.As(err, &te)
+}

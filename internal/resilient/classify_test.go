@@ -1,0 +1,80 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"biasmit/internal/backend"
+)
+
+func TestIsTransient(t *testing.T) {
+	transient := &backend.TransientError{Op: "run", Err: errors.New("queue hiccup")}
+	budget := &backend.BudgetError{Shots: -1}
+	for _, tc := range []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain", errors.New("boom"), false},
+		{"transient", transient, true},
+		{"wrapped transient", fmt.Errorf("slice 2/4: %w", transient), true},
+		{"budget", budget, false},
+		{"wrapped budget", fmt.Errorf("checking: %w", budget), false},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"transient wrapping canceled", &backend.TransientError{Op: "x", Err: context.Canceled}, false},
+		{"transient wrapping budget", &backend.TransientError{Op: "x", Err: budget}, false},
+		{"budget wrapping transient", fmt.Errorf("%w via %w", budget, transient), false},
+	} {
+		if got := IsTransient(tc.err); got != tc.want {
+			t.Errorf("%s: IsTransient = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// FuzzIsTransient builds random wrapped error chains from a byte script
+// and checks the permanent-first invariant: any chain containing a
+// *backend.BudgetError (or a context ending) is never classified
+// transient, no matter how many transient wrappers surround it.
+func FuzzIsTransient(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 2})
+	f.Add(int64(2), []byte{1, 1, 1, 0})
+	f.Add(int64(3), []byte{3, 2, 1, 0, 4})
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		var err error = errors.New("base")
+		hasBudget, hasCtx, hasTransient := false, false, false
+		for _, op := range script {
+			switch op % 5 {
+			case 0:
+				err = fmt.Errorf("layer %d: %w", rng.Intn(100), err)
+			case 1:
+				err = &backend.TransientError{Op: "fuzz", Err: err}
+				hasTransient = true
+			case 2:
+				err = fmt.Errorf("%w (budget %w)", err, &backend.BudgetError{Shots: rng.Intn(10) - 5})
+				hasBudget = true
+			case 3:
+				err = fmt.Errorf("%w after %w", err, context.Canceled)
+				hasCtx = true
+			case 4:
+				err = fmt.Errorf("%w after %w", err, context.DeadlineExceeded)
+				hasCtx = true
+			}
+		}
+		got := IsTransient(err)
+		if hasBudget || hasCtx {
+			if got {
+				t.Fatalf("chain with permanent marker classified transient: %v", err)
+			}
+			return
+		}
+		if got != hasTransient {
+			t.Fatalf("IsTransient = %v, want %v for %v", got, hasTransient, err)
+		}
+	})
+}

@@ -1,0 +1,271 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"biasmit/internal/backend"
+	"biasmit/internal/bitstring"
+	"biasmit/internal/circuit"
+	"biasmit/internal/device"
+	"biasmit/internal/dist"
+)
+
+// noSleep skips backoff delays in tests.
+func noSleep(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+// scriptRunner fails according to a per-call script: calls whose index
+// (0-based) is in fail return a transient error; entries in perm return
+// a permanent error instead. Successful calls return a histogram whose
+// single outcome is keyed by the slice seed, so merges are checkable.
+type scriptRunner struct {
+	mu    sync.Mutex
+	calls int
+	fail  map[int]bool
+	perm  map[int]error
+	seeds []int64
+}
+
+func (r *scriptRunner) run(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt backend.Options) (*dist.Counts, error) {
+	r.mu.Lock()
+	i := r.calls
+	r.calls++
+	r.seeds = append(r.seeds, opt.Seed)
+	r.mu.Unlock()
+	if err, ok := r.perm[i]; ok {
+		return nil, err
+	}
+	if r.fail[i] {
+		return nil, &backend.TransientError{Op: "test", Err: fmt.Errorf("scripted failure %d", i)}
+	}
+	counts := dist.NewCounts(dev.NumQubits)
+	counts.Add(bitstring.Zeros(dev.NumQubits), opt.Shots)
+	return counts, nil
+}
+
+func (r *scriptRunner) callCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls
+}
+
+func probeCircuit() *circuit.Circuit {
+	c := circuit.New(2, "probe")
+	c.H(0)
+	return c
+}
+
+func runOpts(shots int) backend.Options { return backend.Options{Shots: shots, Seed: 11} }
+
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	r := &scriptRunner{fail: map[int]bool{0: true, 1: true}}
+	m := &Metrics{}
+	ex := New(r.run, Policy{MaxAttempts: 4, Sleep: noSleep, Metrics: m})
+	counts, err := ex.Run(context.Background(), probeCircuit(), device.IBMQX2(), runOpts(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.Total() != 100 {
+		t.Fatalf("total = %d, want 100", counts.Total())
+	}
+	if r.callCount() != 3 {
+		t.Fatalf("calls = %d, want 3", r.callCount())
+	}
+	if s := m.Snapshot(); s.Retries != 2 || s.Failures != 0 {
+		t.Fatalf("metrics = %+v", s)
+	}
+}
+
+func TestPermanentErrorFailsFast(t *testing.T) {
+	permanent := errors.New("qasm: parse error")
+	r := &scriptRunner{perm: map[int]error{0: permanent}}
+	ex := New(r.run, Policy{MaxAttempts: 4, Sleep: noSleep})
+	_, err := ex.Run(context.Background(), probeCircuit(), device.IBMQX2(), runOpts(100))
+	if !errors.Is(err, permanent) {
+		t.Fatalf("error = %v, want the permanent error", err)
+	}
+	if r.callCount() != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry of a permanent error)", r.callCount())
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	r := &scriptRunner{fail: map[int]bool{0: true, 1: true, 2: true}}
+	m := &Metrics{}
+	ex := New(r.run, Policy{MaxAttempts: 3, Sleep: noSleep, Metrics: m})
+	_, err := ex.Run(context.Background(), probeCircuit(), device.IBMQX2(), runOpts(100))
+	if !IsTransient(err) {
+		t.Fatalf("error = %v, want the final transient error", err)
+	}
+	if r.callCount() != 3 {
+		t.Fatalf("calls = %d, want 3", r.callCount())
+	}
+	if s := m.Snapshot(); s.Failures != 1 {
+		t.Fatalf("metrics = %+v, want one failed run", s)
+	}
+}
+
+func TestBadBudgetNeverDispatches(t *testing.T) {
+	r := &scriptRunner{}
+	br := NewBreaker(BreakerOptions{Threshold: 1})
+	ex := New(r.run, Policy{Sleep: noSleep, Breaker: br})
+	_, err := ex.Run(context.Background(), probeCircuit(), device.IBMQX2(), runOpts(-5))
+	var be *backend.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error = %v, want BudgetError", err)
+	}
+	if r.callCount() != 0 {
+		t.Fatal("a bad budget must not reach the backend")
+	}
+	if br.State() != StateClosed {
+		t.Fatal("a bad budget must not charge the breaker")
+	}
+}
+
+func TestSalvageSkipsCompletedSlices(t *testing.T) {
+	// 1000 shots at 300/slice: slices of 300, 300, 300, 100. The third
+	// slice fails once (call index 2), ending the first dispatch pass
+	// before slice 4 runs; attempt 2 runs only slices 3 and 4 — 5 calls
+	// in total, and the merged histogram holds every trial exactly once.
+	r := &scriptRunner{fail: map[int]bool{2: true}}
+	m := &Metrics{}
+	ex := New(r.run, Policy{MaxAttempts: 3, SliceShots: 300, Sleep: noSleep, Metrics: m})
+	counts, err := ex.Run(context.Background(), probeCircuit(), device.IBMQX2(), runOpts(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.Total() != 1000 {
+		t.Fatalf("total = %d, want 1000", counts.Total())
+	}
+	if r.callCount() != 5 {
+		t.Fatalf("calls = %d, want 5 (3 + the 2 pending slices)", r.callCount())
+	}
+	s := m.Snapshot()
+	if s.SalvagedSlices != 2 || s.SalvagedShots != 600 {
+		t.Fatalf("salvage = %d slices / %d shots, want 2 / 600", s.SalvagedSlices, s.SalvagedShots)
+	}
+}
+
+func TestMergedResultIndependentOfFaultPlacement(t *testing.T) {
+	run := func(fail map[int]bool) *dist.Counts {
+		t.Helper()
+		r := &scriptRunner{fail: fail}
+		ex := New(r.run, Policy{MaxAttempts: 10, SliceShots: 64, Sleep: noSleep})
+		counts, err := ex.Run(context.Background(), probeCircuit(), device.IBMQX2(), runOpts(500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return counts
+	}
+	clean := run(nil)
+	faulty := run(map[int]bool{0: true, 3: true, 5: true, 9: true})
+	if clean.Total() != faulty.Total() {
+		t.Fatalf("totals differ: %d vs %d", clean.Total(), faulty.Total())
+	}
+	for _, b := range clean.Outcomes() {
+		if clean.Get(b) != faulty.Get(b) {
+			t.Fatalf("outcome %v: %d vs %d", b, clean.Get(b), faulty.Get(b))
+		}
+	}
+}
+
+func TestSingleSliceKeepsCallerSeed(t *testing.T) {
+	r := &scriptRunner{}
+	ex := New(r.run, Policy{Sleep: noSleep})
+	if _, err := ex.Run(context.Background(), probeCircuit(), device.IBMQX2(), runOpts(100)); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.seeds) != 1 || r.seeds[0] != 11 {
+		t.Fatalf("seeds = %v, want the caller's seed 11 untouched", r.seeds)
+	}
+}
+
+func TestSlicedSeedsAreDerivedAndStable(t *testing.T) {
+	seeds := func() []int64 {
+		r := &scriptRunner{}
+		ex := New(r.run, Policy{SliceShots: 100, Sleep: noSleep})
+		if _, err := ex.Run(context.Background(), probeCircuit(), device.IBMQX2(), runOpts(250)); err != nil {
+			t.Fatal(err)
+		}
+		return r.seeds
+	}
+	a, b := seeds(), seeds()
+	if len(a) != 3 {
+		t.Fatalf("slices = %d, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slice %d seed not stable: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if a[0] == 11 || a[1] == 11 {
+		t.Fatal("sliced runs must use derived seeds, not the caller's")
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	ex := New(func(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt backend.Options) (*dist.Counts, error) {
+		return nil, nil
+	}, Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond})
+	for attempt := 2; attempt <= 12; attempt++ {
+		cap := time.Duration(10*time.Millisecond) << uint(attempt-2)
+		if cap > 80*time.Millisecond || cap <= 0 {
+			cap = 80 * time.Millisecond
+		}
+		for i := 0; i < 50; i++ {
+			d := ex.backoff(attempt)
+			if d <= 0 || d > cap {
+				t.Fatalf("attempt %d: backoff %v outside (0, %v]", attempt, d, cap)
+			}
+		}
+	}
+}
+
+func TestBreakerOpenRejectsRun(t *testing.T) {
+	r := &scriptRunner{fail: map[int]bool{0: true, 1: true}}
+	br := NewBreaker(BreakerOptions{Threshold: 2, Cooldown: time.Hour})
+	m := &Metrics{}
+	ex := New(r.run, Policy{MaxAttempts: 1, Sleep: noSleep, Breaker: br, Machine: "ibmqx2", Metrics: m})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := ex.Run(ctx, probeCircuit(), device.IBMQX2(), runOpts(10)); err == nil {
+			t.Fatal("scripted failure should surface")
+		}
+	}
+	if br.State() != StateOpen {
+		t.Fatalf("breaker state %q, want open after 2 failures", br.State())
+	}
+	_, err := ex.Run(ctx, probeCircuit(), device.IBMQX2(), runOpts(10))
+	var boe *BreakerOpenError
+	if !errors.As(err, &boe) {
+		t.Fatalf("error = %v, want BreakerOpenError", err)
+	}
+	if boe.Machine != "ibmqx2" || boe.RetryAfter <= 0 {
+		t.Fatalf("BreakerOpenError = %+v", boe)
+	}
+	if r.callCount() != 2 {
+		t.Fatal("an open breaker must not dispatch work")
+	}
+	if s := m.Snapshot(); s.BreakerRejections != 1 {
+		t.Fatalf("metrics = %+v, want one breaker rejection", s)
+	}
+}
+
+func TestContextCancellationDoesNotChargeBreaker(t *testing.T) {
+	br := NewBreaker(BreakerOptions{Threshold: 1, Cooldown: time.Hour})
+	ex := New(func(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt backend.Options) (*dist.Counts, error) {
+		return nil, ctx.Err()
+	}, Policy{MaxAttempts: 3, Sleep: noSleep, Breaker: br})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ex.Run(ctx, probeCircuit(), device.IBMQX2(), runOpts(10)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want Canceled", err)
+	}
+	if br.State() != StateClosed {
+		t.Fatalf("breaker state %q: a caller cancellation is not machine failure", br.State())
+	}
+}

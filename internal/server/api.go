@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"biasmit/internal/backend"
+	"biasmit/internal/resilient"
 )
 
 // Stable error codes of the biasmitd API. Clients should branch on
@@ -29,6 +31,13 @@ const (
 	CodeProfileStale = "profile_stale"
 	// CodeDeadlineExceeded marks a request that ran out of its deadline.
 	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeBreakerOpen marks a request refused because the target
+	// machine's circuit breaker is open after repeated failures; the
+	// response carries a Retry-After header with the cooldown remainder.
+	CodeBreakerOpen = "breaker_open"
+	// CodeUpstreamTransient marks a run that kept failing transiently
+	// even after the server's retry budget; the request is safe to retry.
+	CodeUpstreamTransient = "upstream_transient"
 	// CodeCanceled marks a request whose context was canceled (usually a
 	// client disconnect or server drain).
 	CodeCanceled = "canceled"
@@ -47,6 +56,10 @@ type APIError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	Status  int    `json:"-"` // HTTP status, not serialized
+	// RetryAfter, when positive, is surfaced as a Retry-After header —
+	// set on breaker_open responses with the breaker's remaining
+	// cooldown.
+	RetryAfter time.Duration `json:"-"`
 }
 
 func (e *APIError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
@@ -65,6 +78,12 @@ func toAPIError(err error) *APIError {
 	if errors.As(err, &ae) {
 		return ae
 	}
+	var boe *resilient.BreakerOpenError
+	if errors.As(err, &boe) {
+		out := apiErrorf(http.StatusServiceUnavailable, CodeBreakerOpen, "%v", boe)
+		out.RetryAfter = boe.RetryAfter
+		return out
+	}
 	var be *backend.BudgetError
 	if errors.As(err, &be) {
 		return apiErrorf(http.StatusBadRequest, CodeBadBudget, "%v", be)
@@ -74,6 +93,11 @@ func toAPIError(err error) *APIError {
 	}
 	if errors.Is(err, context.Canceled) {
 		return apiErrorf(http.StatusServiceUnavailable, CodeCanceled, "request canceled")
+	}
+	var te *backend.TransientError
+	if errors.As(err, &te) {
+		return apiErrorf(http.StatusServiceUnavailable, CodeUpstreamTransient,
+			"run kept failing transiently after retries: %v", err)
 	}
 	return apiErrorf(http.StatusInternalServerError, CodeInternal, "%v", err)
 }
@@ -85,7 +109,9 @@ func toAPIError(err error) *APIError {
 func asBadRequest(err error) *APIError {
 	var ae *APIError
 	var be *backend.BudgetError
-	if errors.As(err, &ae) || errors.As(err, &be) ||
+	var te *backend.TransientError
+	var boe *resilient.BreakerOpenError
+	if errors.As(err, &ae) || errors.As(err, &be) || errors.As(err, &te) || errors.As(err, &boe) ||
 		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		return toAPIError(err)
 	}
@@ -166,10 +192,12 @@ type ProfileInfo struct {
 }
 
 // MitigateProfile reports which profile an AIM run used and whether it
-// came from the cache.
+// came from the cache. Degraded marks a stale profile served because
+// re-characterization failed.
 type MitigateProfile struct {
 	ProfileInfo
-	Cached bool `json:"cached"`
+	Cached   bool `json:"cached"`
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // MitigateResponse is the body of a successful POST /v1/mitigate.
@@ -188,7 +216,11 @@ type MitigateResponse struct {
 	Strongest        string           `json:"strongest,omitempty"`
 	Candidates       []AIMCandidate   `json:"candidates,omitempty"`
 	Profile          *MitigateProfile `json:"profile,omitempty"`
-	ElapsedMS        float64          `json:"elapsed_ms"`
+	// Degraded is true when the run leaned on stale data (see
+	// MitigateProfile.Degraded): the result is usable but the caller
+	// should know the machine view behind it is old.
+	Degraded  bool    `json:"degraded,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // CharacterizeRequest is the body of POST /v1/characterize. The
@@ -214,10 +246,13 @@ type CharacterizeRequest struct {
 
 // CharacterizeResponse is the body of a successful POST /v1/characterize.
 type CharacterizeResponse struct {
-	Profile   ProfileInfo `json:"profile"`
-	Cached    bool        `json:"cached"`
-	Strengths []float64   `json:"strengths,omitempty"` // relative, strongest = 1
-	ElapsedMS float64     `json:"elapsed_ms"`
+	Profile ProfileInfo `json:"profile"`
+	Cached  bool        `json:"cached"`
+	// Degraded is true when the returned profile is stale and
+	// re-characterization failed, so the stale one was served instead.
+	Degraded  bool      `json:"degraded,omitempty"`
+	Strengths []float64 `json:"strengths,omitempty"` // relative, strongest = 1
+	ElapsedMS float64   `json:"elapsed_ms"`
 }
 
 // ProfilesResponse is the body of GET /v1/profiles.
@@ -225,10 +260,25 @@ type ProfilesResponse struct {
 	Profiles []ProfileInfo `json:"profiles"`
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthMachine is one machine's health row: the circuit-breaker state
+// ("closed", "open", or "half-open") and, when open, how long until the
+// next probe.
+type HealthMachine struct {
+	Machine      string `json:"machine"`
+	Breaker      string `json:"breaker"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// HealthResponse is the body of GET /healthz. Status is "ok" when every
+// breaker is closed and no cached profile is stale, "degraded" when any
+// breaker is not closed or stale profiles are being served, and
+// "unavailable" (HTTP 503) when every machine's breaker is open.
 type HealthResponse struct {
-	Status   string `json:"status"`
-	UptimeMS int64  `json:"uptime_ms"`
+	Status         string          `json:"status"`
+	UptimeMS       int64           `json:"uptime_ms"`
+	Machines       []HealthMachine `json:"machines,omitempty"`
+	ProfilesCached int             `json:"profiles_cached"`
+	ProfilesStale  int             `json:"profiles_stale"`
 }
 
 // errorEnvelope wraps an APIError on the wire.
@@ -245,9 +295,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError maps err onto the typed wire shape and writes it.
+// writeError maps err onto the typed wire shape and writes it, with a
+// Retry-After header (in whole seconds, rounded up) when the error
+// carries a cooldown.
 func writeError(w http.ResponseWriter, err error) {
 	ae := toAPIError(err)
+	if ae.RetryAfter > 0 {
+		secs := int64((ae.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	writeJSON(w, ae.Status, errorEnvelope{Error: ae})
 }
 

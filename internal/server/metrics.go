@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"biasmit/internal/profilestore"
+	"biasmit/internal/resilient"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds. Mitigation
@@ -90,9 +91,29 @@ func sortedKeys[V any](m map[string]V) []string {
 	return keys
 }
 
-// write renders the registry plus the profile-cache stats in the
+// breakerInfo is one machine's breaker snapshot for the exposition.
+type breakerInfo struct {
+	machine string
+	state   string
+	stats   resilient.BreakerStats
+}
+
+// breakerStateValue encodes a breaker state as a gauge value: 0 closed,
+// 1 half-open, 2 open.
+func breakerStateValue(state string) int {
+	switch state {
+	case resilient.StateHalfOpen:
+		return 1
+	case resilient.StateOpen:
+		return 2
+	}
+	return 0
+}
+
+// write renders the registry plus the profile-cache stats, the resilient
+// executor counters, and the per-machine breaker snapshots in the
 // Prometheus text exposition format.
-func (m *metricsRegistry) write(w io.Writer, cache profilestore.Stats) {
+func (m *metricsRegistry) write(w io.Writer, cache profilestore.Stats, runs resilient.MetricsSnapshot, breakers []breakerInfo) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -141,7 +162,29 @@ func (m *metricsRegistry) write(w io.Writer, cache profilestore.Stats) {
 	counter("biasmitd_profile_characterize_errors_total", "Request-path characterizations failed.", cache.CharacterizeErrors)
 	counter("biasmitd_profile_refreshes_total", "Background profile refreshes completed.", cache.Refreshes)
 	counter("biasmitd_profile_refresh_errors_total", "Background profile refreshes failed.", cache.RefreshErrors)
+	counter("biasmitd_profile_degraded_serves_total", "Stale profiles served because re-characterization failed.", cache.DegradedServes)
 	fmt.Fprintln(w, "# HELP biasmitd_profile_cache_entries Profiles currently cached.")
 	fmt.Fprintln(w, "# TYPE biasmitd_profile_cache_entries gauge")
 	fmt.Fprintf(w, "biasmitd_profile_cache_entries %d\n", cache.Entries)
+
+	counter("biasmitd_backend_runs_total", "Backend runs started (past the breaker).", runs.Runs)
+	counter("biasmitd_backend_attempts_total", "Dispatch passes over a run's pending slices.", runs.Attempts)
+	counter("biasmitd_backend_retries_total", "Attempts after a run's first, i.e. transient-failure retries.", runs.Retries)
+	counter("biasmitd_backend_run_failures_total", "Backend runs that failed after exhausting retries.", runs.Failures)
+	counter("biasmitd_salvaged_slices_total", "Completed shot slices carried across a retry instead of re-run.", runs.SalvagedSlices)
+	counter("biasmitd_salvaged_shots_total", "Trials inside salvaged slices.", runs.SalvagedShots)
+	counter("biasmitd_breaker_rejections_total", "Runs refused outright by an open circuit breaker.", runs.BreakerRejections)
+
+	fmt.Fprintln(w, "# HELP biasmitd_breaker_state Circuit-breaker state per machine (0 closed, 1 half-open, 2 open).")
+	fmt.Fprintln(w, "# TYPE biasmitd_breaker_state gauge")
+	for _, b := range breakers {
+		fmt.Fprintf(w, "biasmitd_breaker_state{machine=%q} %d\n", b.machine, breakerStateValue(b.state))
+	}
+	fmt.Fprintln(w, "# HELP biasmitd_breaker_transitions_total Circuit-breaker state transitions per machine.")
+	fmt.Fprintln(w, "# TYPE biasmitd_breaker_transitions_total counter")
+	for _, b := range breakers {
+		fmt.Fprintf(w, "biasmitd_breaker_transitions_total{machine=%q,to=\"open\"} %d\n", b.machine, b.stats.Opened)
+		fmt.Fprintf(w, "biasmitd_breaker_transitions_total{machine=%q,to=\"half-open\"} %d\n", b.machine, b.stats.HalfOpened)
+		fmt.Fprintf(w, "biasmitd_breaker_transitions_total{machine=%q,to=\"closed\"} %d\n", b.machine, b.stats.Closed)
+	}
 }

@@ -24,12 +24,15 @@ import (
 	"context"
 	"hash/fnv"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"biasmit/internal/backend"
 	"biasmit/internal/bitstring"
+	"biasmit/internal/chaos"
 	"biasmit/internal/core"
 	"biasmit/internal/device"
 	"biasmit/internal/dist"
@@ -39,6 +42,7 @@ import (
 	"biasmit/internal/orchestrate"
 	"biasmit/internal/profilestore"
 	"biasmit/internal/qasm"
+	"biasmit/internal/resilient"
 )
 
 // Config tunes a Server. The zero value of every field selects a
@@ -71,8 +75,36 @@ type Config struct {
 	// Seed is the base seed for characterization runs (default 1); the
 	// per-key seed is derived from it so profiles are reproducible.
 	Seed int64
+	// Chaos injects faults into every backend execution on every machine
+	// (tests and the CI chaos job); the zero Plan disables injection.
+	Chaos chaos.Plan
+	// RetryAttempts bounds how many times each backend run is attempted
+	// before its transient error surfaces (default 4; 1 disables
+	// retries).
+	RetryAttempts int
+	// RetryBaseDelay seeds the retry backoff (default 50ms; see
+	// resilient.Policy).
+	RetryBaseDelay time.Duration
+	// SliceShots is the partial-shot salvage granularity: backend runs
+	// above this many trials are split into independently seeded slices
+	// so a fault only re-runs unfinished work (default 0: no slicing,
+	// byte-compatible with the raw backend).
+	SliceShots int
+	// BreakerThreshold is how many consecutive failed runs open a
+	// machine's circuit breaker (default 5); BreakerCooldown is how long
+	// an open breaker rejects work before probing again (default 30s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// MachineNames lists the machines /healthz reports on; defaults to
+	// the paper's three machines (device.AllMachines).
+	MachineNames []string
 	// Now overrides the clock, for tests.
 	Now func() time.Time
+	// sleep overrides the retry backoff sleep, for tests.
+	sleep func(ctx context.Context, d time.Duration) error
+	// wrapRun, for tests, wraps the raw backend runner before chaos and
+	// the retrying executor are layered on.
+	wrapRun func(backend.Runner) backend.Runner
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +129,14 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 4
+	}
+	if len(c.MachineNames) == 0 {
+		for _, dev := range device.AllMachines() {
+			c.MachineNames = append(c.MachineNames, dev.Name)
+		}
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -112,17 +152,33 @@ type Server struct {
 	jobs  chan struct{} // admission gate for heavy endpoints
 	mux   *http.ServeMux
 	start time.Time
+
+	// Per-machine resilient execution: every backend run (mitigation
+	// and characterization alike) goes through the machine's retrying
+	// executor and circuit breaker; the counters are shared so /metrics
+	// shows one fleet-wide view.
+	runMetrics *resilient.Metrics
+	execMu     sync.Mutex
+	execs      map[string]*machineExec
+}
+
+// machineExec is one machine's execution path plus its breaker.
+type machineExec struct {
+	breaker *resilient.Breaker
+	run     backend.Runner
 }
 
 // New builds a server and its profile store.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		reg:   newMetricsRegistry(),
-		jobs:  make(chan struct{}, cfg.MaxJobs),
-		mux:   http.NewServeMux(),
-		start: cfg.Now(),
+		cfg:        cfg,
+		reg:        newMetricsRegistry(),
+		jobs:       make(chan struct{}, cfg.MaxJobs),
+		mux:        http.NewServeMux(),
+		start:      cfg.Now(),
+		runMetrics: &resilient.Metrics{},
+		execs:      make(map[string]*machineExec),
 	}
 	s.store = profilestore.New(s.characterizeKey, profilestore.Options{
 		TTL:            cfg.ProfileTTL,
@@ -166,6 +222,51 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		h(rec, r)
 		s.reg.end(route, rec.code, time.Since(start).Seconds())
 	}
+}
+
+// exec returns the machine's resilient execution path, building its
+// breaker and retrying executor on first use. Machines share the chaos
+// plan, retry policy, and metrics but each gets its own breaker, so one
+// persistently failing machine sheds load without darkening the rest.
+func (s *Server) exec(dev *device.Device) *machineExec {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	if e, ok := s.execs[dev.Name]; ok {
+		return e
+	}
+	br := resilient.NewBreaker(resilient.BreakerOptions{
+		Threshold: s.cfg.BreakerThreshold,
+		Cooldown:  s.cfg.BreakerCooldown,
+		Now:       s.cfg.Now,
+	})
+	run := backend.RunContext
+	if s.cfg.wrapRun != nil {
+		run = s.cfg.wrapRun(run)
+	}
+	ex := resilient.New(s.cfg.Chaos.Wrap(run), resilient.Policy{
+		MaxAttempts: s.cfg.RetryAttempts,
+		BaseDelay:   s.cfg.RetryBaseDelay,
+		SliceShots:  s.cfg.SliceShots,
+		Seed:        s.cfg.Seed,
+		Breaker:     br,
+		Machine:     dev.Name,
+		Sleep:       s.cfg.sleep,
+		Metrics:     s.runMetrics,
+	})
+	e := &machineExec{breaker: br, run: ex.Run}
+	s.execs[dev.Name] = e
+	return e
+}
+
+// breakerFor reports a machine's breaker state without forcing the
+// executor into existence: a machine nobody has used yet is closed.
+func (s *Server) breakerFor(name string) *resilient.Breaker {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	if e, ok := s.execs[name]; ok {
+		return e.breaker
+	}
+	return nil
 }
 
 // deadline derives the job context: the request's own timeout if set,
@@ -296,6 +397,7 @@ func (s *Server) characterizeKey(ctx context.Context, key profilestore.Key) (*pr
 	}
 	m := core.NewMachine(dev)
 	m.Workers = s.cfg.Workers
+	m.Run = s.exec(dev).run
 	prof := &core.Profiler{Machine: m, Layout: layout}
 	seed := orchestrate.DeriveSeed(s.cfg.Seed, keyStream(key))
 	var (
@@ -413,6 +515,7 @@ func (s *Server) mitigate(ctx context.Context, req *MitigateRequest) (*MitigateR
 
 	m := core.NewMachine(dev)
 	m.Workers = s.cfg.Workers
+	m.Run = s.exec(dev).run
 	job, err := core.NewJob(bench.Circuit, m)
 	if err != nil {
 		return nil, asBadRequest(err)
@@ -450,7 +553,7 @@ func (s *Server) mitigate(ctx context.Context, req *MitigateRequest) (*MitigateR
 		}
 		counts = res.Merged
 	case "aim":
-		prof, cached, aerr := s.aimProfile(ctx, req, job, dev)
+		prof, serveRes, aerr := s.aimProfile(ctx, req, job, dev)
 		if aerr != nil {
 			return nil, aerr
 		}
@@ -468,7 +571,12 @@ func (s *Server) mitigate(ctx context.Context, req *MitigateRequest) (*MitigateR
 				Inversion:  c.Inversion.String(),
 			})
 		}
-		resp.Profile = &MitigateProfile{ProfileInfo: s.profileInfo(prof), Cached: cached}
+		resp.Profile = &MitigateProfile{
+			ProfileInfo: s.profileInfo(prof),
+			Cached:      serveRes.Cached,
+			Degraded:    serveRes.Degraded,
+		}
+		resp.Degraded = serveRes.Degraded
 	}
 
 	resp.Outcomes, resp.DistinctOutcomes = outcomeRows(counts, req.Top)
@@ -490,26 +598,29 @@ func (s *Server) mitigate(ctx context.Context, req *MitigateRequest) (*MitigateR
 // aimProfile resolves the RBMS profile an AIM run needs: a fresh cached
 // profile when available, otherwise an in-line characterization — unless
 // the request insists on cache-only, which maps a miss onto the
-// profile_stale error.
-func (s *Server) aimProfile(ctx context.Context, req *MitigateRequest, job *core.Job, dev *device.Device) (*profilestore.Profile, bool, error) {
+// profile_stale error. When re-characterization fails but a stale
+// profile survives, the stale one is served with Degraded set: the
+// paper's stability result (§6.1) makes an aged profile a better guide
+// than none.
+func (s *Server) aimProfile(ctx context.Context, req *MitigateRequest, job *core.Job, dev *device.Device) (*profilestore.Profile, profilestore.ServeResult, error) {
 	method, err := resolveProfileMethod(req.ProfileMethod, job.Width())
 	if err != nil {
-		return nil, false, err
+		return nil, profilestore.ServeResult{}, err
 	}
 	key := profilestore.Key{Machine: dev.Name, Width: job.Width(), Method: method}
 	if req.RequireCachedProfile {
 		p, ok := s.store.Get(key)
 		if !ok {
-			return nil, false, apiErrorf(http.StatusConflict, CodeProfileStale,
+			return nil, profilestore.ServeResult{}, apiErrorf(http.StatusConflict, CodeProfileStale,
 				"no fresh %s profile cached for %s; POST /v1/characterize first or drop require_cached_profile", method, key)
 		}
-		return p, true, nil
+		return p, profilestore.ServeResult{Cached: true}, nil
 	}
-	p, cached, err := s.store.GetOrCharacterize(ctx, key)
+	p, res, err := s.store.Serve(ctx, key)
 	if err != nil {
-		return nil, false, toAPIError(err)
+		return nil, res, toAPIError(err)
 	}
-	return p, cached, nil
+	return p, res, nil
 }
 
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
@@ -564,20 +675,21 @@ func (s *Server) characterizeRequest(ctx context.Context, req *CharacterizeReque
 
 	started := time.Now()
 	var (
-		p      *profilestore.Profile
-		cached bool
+		p   *profilestore.Profile
+		res profilestore.ServeResult
 	)
 	if req.Force {
 		p, err = s.store.Characterize(ctx, key)
 	} else {
-		p, cached, err = s.store.GetOrCharacterize(ctx, key)
+		p, res, err = s.store.Serve(ctx, key)
 	}
 	if err != nil {
 		return nil, toAPIError(err)
 	}
 	resp := &CharacterizeResponse{
 		Profile:   s.profileInfo(p),
-		Cached:    cached,
+		Cached:    res.Cached,
+		Degraded:  res.Degraded,
 		ElapsedMS: float64(time.Since(started).Microseconds()) / 1000,
 	}
 	if req.IncludeStrengths || p.Key.Width <= 8 {
@@ -598,15 +710,49 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz reports honest readiness rather than bare liveness:
+// each machine's breaker state, plus how much of the profile cache has
+// gone stale. The status is "ok" with every breaker closed, "degraded"
+// while any breaker is open/half-open or any cached profile is stale,
+// and "unavailable" (with a 503, so load balancers stop routing here)
+// only when every machine's breaker is open.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires GET", r.URL.Path))
 		return
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:   "ok",
 		UptimeMS: time.Since(s.start).Milliseconds(),
-	})
+	}
+	open := 0
+	for _, name := range s.cfg.MachineNames {
+		hm := HealthMachine{Machine: name, Breaker: resilient.StateClosed}
+		if br := s.breakerFor(name); br != nil {
+			hm.Breaker = br.State()
+			if hm.Breaker == resilient.StateOpen {
+				open++
+				hm.RetryAfterMS = br.RetryAfter().Milliseconds()
+			}
+		}
+		if hm.Breaker != resilient.StateClosed {
+			resp.Status = "degraded"
+		}
+		resp.Machines = append(resp.Machines, hm)
+	}
+	for _, p := range s.store.Profiles() {
+		resp.ProfilesCached++
+		if s.store.Stale(p) {
+			resp.ProfilesStale++
+			resp.Status = "degraded"
+		}
+	}
+	status := http.StatusOK
+	if len(resp.Machines) > 0 && open == len(resp.Machines) {
+		resp.Status = "unavailable"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -615,7 +761,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.reg.write(w, s.store.StatsSnapshot())
+	s.reg.write(w, s.store.StatsSnapshot(), s.runMetrics.Snapshot(), s.breakerInfos())
+}
+
+// breakerInfos snapshots every machine's breaker for /metrics, in a
+// stable machine-name order. Machines never executed on report closed
+// with zeroed transition counters.
+func (s *Server) breakerInfos() []breakerInfo {
+	names := append([]string(nil), s.cfg.MachineNames...)
+	s.execMu.Lock()
+	for name := range s.execs {
+		found := false
+		for _, n := range names {
+			if n == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			names = append(names, name)
+		}
+	}
+	s.execMu.Unlock()
+	sort.Strings(names)
+	out := make([]breakerInfo, 0, len(names))
+	for _, name := range names {
+		info := breakerInfo{machine: name, state: resilient.StateClosed}
+		if br := s.breakerFor(name); br != nil {
+			info.state = br.State()
+			info.stats = br.Stats()
+		}
+		out = append(out, info)
+	}
+	return out
 }
 
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {

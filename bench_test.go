@@ -584,7 +584,7 @@ func BenchmarkParallelBackend(b *testing.B) {
 			opt := backend.Options{Shots: 2048, Workers: workers}
 			for i := 0; i < b.N; i++ {
 				opt.Seed = int64(i)
-				if _, err := backend.Run(job.Plan.Physical, dev, opt); err != nil {
+				if _, err := backend.RunContext(context.Background(), job.Plan.Physical, dev, opt); err != nil {
 					b.Fatal(err)
 				}
 			}

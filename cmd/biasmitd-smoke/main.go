@@ -1,0 +1,200 @@
+// Command biasmitd-smoke is the CI black-box prober for biasmitd,
+// replacing the curl+grep scripts that used to live in the workflow: it
+// drives a running daemon through the typed client (internal/client), so
+// the smoke test exercises the same wire contract (internal/api) that
+// real Go callers use, and a contract break fails to compile instead of
+// failing to grep.
+//
+// Two scenarios, selected with -scenario:
+//
+//	serve    health, an AIM profile-cache miss/hit pair, a typed
+//	         over-budget rejection, and the /metrics counters that prove
+//	         it all happened.
+//	breaker  two injected outages open the machine's breaker, the third
+//	         request is rejected up front with breaker_open + a
+//	         Retry-After cooldown, /healthz degrades honestly, and after
+//	         the cooldown the half-open probe recovers the machine.
+//	         Expects the daemon started with -chaos-fail-first 2
+//	         -retry-attempts 1 -breaker-threshold 2.
+//
+// Exits 0 when every assertion holds, 1 with a message otherwise.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"biasmit/internal/api"
+	"biasmit/internal/backend"
+	"biasmit/internal/client"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "daemon address (host:port or URL)")
+	scenario := flag.String("scenario", "serve", "round-trip to run: serve or breaker")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("smoke: ")
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cl := client.New(*addr)
+
+	var err error
+	switch *scenario {
+	case "serve":
+		err = serveScenario(ctx, cl)
+	case "breaker":
+		err = breakerScenario(ctx, cl)
+	default:
+		err = fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		log.Printf("FAIL (%s): %v", *scenario, err)
+		os.Exit(1)
+	}
+	log.Printf("ok (%s)", *scenario)
+}
+
+// serveScenario is the happy-path round-trip of the CI serve job.
+func serveScenario(ctx context.Context, cl *client.Client) error {
+	h, err := cl.Healthz(ctx)
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("healthz status %q, want ok", h.Status)
+	}
+
+	// AIM twice: the first run characterizes (cache miss), the second
+	// must reuse the stored profile.
+	req := &api.MitigateRequest{
+		Machine: "ibmqx4", Policy: "aim", Benchmark: "bv-4A", Shots: 2048, Seed: 7,
+	}
+	first, err := cl.Mitigate(ctx, req)
+	if err != nil {
+		return fmt.Errorf("first aim run: %w", err)
+	}
+	if first.Profile == nil || first.Profile.Cached {
+		return fmt.Errorf("first aim run should characterize fresh, got profile %+v", first.Profile)
+	}
+	second, err := cl.Mitigate(ctx, req)
+	if err != nil {
+		return fmt.Errorf("second aim run: %w", err)
+	}
+	if second.Profile == nil || !second.Profile.Cached {
+		return fmt.Errorf("second aim run should hit the profile cache, got profile %+v", second.Profile)
+	}
+
+	// An over-budget request must be the typed bad_budget rejection.
+	_, err = cl.Mitigate(ctx, &api.MitigateRequest{
+		Machine: "ibmqx4", Policy: "baseline", Benchmark: "bv-4A",
+		Shots: backend.MaxShots + 1,
+	})
+	var ae *api.Error
+	if !errors.As(err, &ae) {
+		return fmt.Errorf("over-budget run: got %v (%T), want *api.Error", err, err)
+	}
+	if ae.Code != api.CodeBadBudget || ae.Status != 400 {
+		return fmt.Errorf("over-budget run: code=%q status=%d, want bad_budget/400", ae.Code, ae.Status)
+	}
+
+	return expectMetrics(ctx, cl,
+		"biasmitd_profile_cache_misses_total 1",
+		"biasmitd_profile_cache_hits_total 1",
+		`biasmitd_requests_total{route="/v1/mitigate",code="200"} 2`,
+		`biasmitd_requests_total{route="/v1/mitigate",code="400"} 1`,
+	)
+}
+
+// breakerScenario is the fault-injection round-trip of the CI chaos job.
+func breakerScenario(ctx context.Context, cl *client.Client) error {
+	req := &api.MitigateRequest{
+		Machine: "ibmqx2", Policy: "baseline", Benchmark: "bv:01", Shots: 512, Seed: 1,
+	}
+
+	// Two injected outages: upstream_transient each, reaching the
+	// breaker threshold.
+	for i := 1; i <= 2; i++ {
+		_, err := cl.Mitigate(ctx, req)
+		var ae *api.Error
+		if !errors.As(err, &ae) {
+			return fmt.Errorf("outage %d: got %v (%T), want *api.Error", i, err, err)
+		}
+		if ae.Code != api.CodeUpstreamTransient || ae.Status != 503 {
+			return fmt.Errorf("outage %d: code=%q status=%d, want upstream_transient/503", i, ae.Code, ae.Status)
+		}
+	}
+
+	// Open breaker: rejected up front, typed, with a cooldown.
+	_, err := cl.Mitigate(ctx, req)
+	var ae *api.Error
+	if !errors.As(err, &ae) {
+		return fmt.Errorf("open breaker: got %v (%T), want *api.Error", err, err)
+	}
+	if ae.Code != api.CodeBreakerOpen || ae.Status != 503 {
+		return fmt.Errorf("open breaker: code=%q status=%d, want breaker_open/503", ae.Code, ae.Status)
+	}
+	if ae.RetryAfter <= 0 {
+		return fmt.Errorf("open breaker: no Retry-After cooldown on %v", ae)
+	}
+
+	// Health is honest while the machine is dark.
+	h, err := cl.Healthz(ctx)
+	if err != nil {
+		return fmt.Errorf("healthz while open: %w", err)
+	}
+	if h.Status != "degraded" {
+		return fmt.Errorf("healthz status %q while breaker open, want degraded", h.Status)
+	}
+
+	// Sleep out the advertised cooldown; the half-open probe then
+	// succeeds (the fault budget is spent) and the machine serves again.
+	select {
+	case <-time.After(ae.RetryAfter + 500*time.Millisecond):
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	resp, err := cl.Mitigate(ctx, req)
+	if err != nil {
+		return fmt.Errorf("post-cooldown run: %w", err)
+	}
+	if resp.Policy != "baseline" {
+		return fmt.Errorf("post-cooldown run: policy %q, want baseline", resp.Policy)
+	}
+	h, err = cl.Healthz(ctx)
+	if err != nil {
+		return fmt.Errorf("healthz after recovery: %w", err)
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("healthz status %q after recovery, want ok", h.Status)
+	}
+
+	return expectMetrics(ctx, cl,
+		"biasmitd_breaker_rejections_total 1",
+		`biasmitd_breaker_transitions_total{machine="ibmqx2",to="open"} 1`,
+		`biasmitd_breaker_transitions_total{machine="ibmqx2",to="closed"} 1`,
+		`biasmitd_breaker_state{machine="ibmqx2"} 0`,
+	)
+}
+
+// expectMetrics scrapes /metrics and requires every line to be present.
+func expectMetrics(ctx context.Context, cl *client.Client, lines ...string) error {
+	text, err := cl.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for _, want := range lines {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+// Package api defines the wire contract of the biasmitd HTTP API: the
+// request and response bodies of every route, the stable error envelope,
+// and the protocol version string. It is the single source of truth
+// shared by the server (internal/server) and the typed Go client
+// (internal/client), so the two cannot drift apart — a field added here
+// is visible on both sides at compile time.
+//
+// The package is deliberately free of server and simulator imports; it
+// is plain data. See DESIGN.md §"API contract" for the route-by-route
+// table.
+package api
+
+import (
+	"fmt"
+	"time"
+)
+
+// Version is the protocol version stamped on every response envelope as
+// "api_version". Clients should check it before interpreting fields;
+// breaking changes bump it and move the routes to a new prefix.
+const Version = "v1"
+
+// Stable error codes of the biasmitd API. Clients should branch on
+// these, never on message text.
+const (
+	// CodeBadRequest marks malformed or semantically invalid input.
+	CodeBadRequest = "bad_request"
+	// CodeBadBudget marks a shot budget outside the accepted range —
+	// non-positive, above backend.MaxShots, or above the server's
+	// per-request cap.
+	CodeBadBudget = "bad_budget"
+	// CodeUnknownMachine marks a machine name with no device model.
+	CodeUnknownMachine = "unknown_machine"
+	// CodeUnknownBenchmark marks an unrecognized benchmark identifier.
+	CodeUnknownBenchmark = "unknown_benchmark"
+	// CodeProfileStale marks an AIM request that required a cached
+	// profile when none is cached (or the cached one outlived its TTL).
+	CodeProfileStale = "profile_stale"
+	// CodeDeadlineExceeded marks a request that ran out of its deadline.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeBreakerOpen marks a request refused because the target
+	// machine's circuit breaker is open after repeated failures; the
+	// response carries a Retry-After header with the cooldown remainder.
+	CodeBreakerOpen = "breaker_open"
+	// CodeUpstreamTransient marks a run that kept failing transiently
+	// even after the server's retry budget; the request is safe to retry.
+	CodeUpstreamTransient = "upstream_transient"
+	// CodeCanceled marks a request whose context was canceled (usually a
+	// client disconnect or server drain).
+	CodeCanceled = "canceled"
+	// CodeMethodNotAllowed marks a wrong HTTP method on a known route.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeNotFound marks an unknown route.
+	CodeNotFound = "not_found"
+	// CodeInternal marks an unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// Envelope carries the protocol version common to every response body.
+// Response types embed it; the server stamps it in its JSON writer, so
+// handlers cannot forget it.
+type Envelope struct {
+	APIVersion string `json:"api_version"`
+}
+
+// SetAPIVersion stamps the version; the server's response writer calls
+// it on every body it serializes.
+func (e *Envelope) SetAPIVersion(v string) { e.APIVersion = v }
+
+// Error is the stable wire shape of every biasmitd failure: a machine
+// readable code plus a human-readable message, delivered as
+// {"api_version":...,"error":{"code":...,"message":...}} with the
+// matching HTTP status.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Status  int    `json:"-"` // HTTP status, not serialized
+	// RetryAfter, when positive, is surfaced as a Retry-After header —
+	// set on breaker_open responses with the breaker's remaining
+	// cooldown. The client restores it from the header, so the field
+	// round-trips even though it is not part of the JSON body.
+	RetryAfter time.Duration `json:"-"`
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// ErrorEnvelope wraps an Error on the wire.
+type ErrorEnvelope struct {
+	Envelope
+	Error *Error `json:"error"`
+}
+
+// MitigateRequest is the body of POST /v1/mitigate.
+type MitigateRequest struct {
+	// Machine names the device model (ibmqx2, ibmqx4, ibmq-melbourne).
+	Machine string `json:"machine"`
+	// Policy selects the measurement policy: baseline, sim, or aim.
+	Policy string `json:"policy"`
+	// Benchmark names a paper workload (bv-4A … qaoa-7) or uses the
+	// bv:<key> / prep:<bits> / ghz-<n> shorthands. Mutually exclusive
+	// with QASM.
+	Benchmark string `json:"benchmark,omitempty"`
+	// QASM carries an OpenQASM 2.0 program to run instead of a named
+	// benchmark.
+	QASM string `json:"qasm,omitempty"`
+	// Shots is the trial budget for the run (required).
+	Shots int `json:"shots"`
+	// Seed makes the run deterministic; zero selects 1.
+	Seed int64 `json:"seed,omitempty"`
+	// Modes is the SIM inversion-string count (1, 2, 4, or 8; default 4).
+	Modes int `json:"modes,omitempty"`
+	// CanaryFraction tunes AIM's canary budget (default 0.25).
+	CanaryFraction float64 `json:"canary_fraction,omitempty"`
+	// K is AIM's adaptive candidate count (default 4).
+	K int `json:"k,omitempty"`
+	// ProfileMethod forces the AIM characterization method (brute, esct,
+	// awct); empty or "auto" picks brute for ≤5 qubits, awct beyond.
+	ProfileMethod string `json:"profile_method,omitempty"`
+	// RequireCachedProfile makes an AIM request fail with profile_stale
+	// instead of characterizing in-line when no fresh profile is cached.
+	RequireCachedProfile bool `json:"require_cached_profile,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline
+	// (capped at the server maximum).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Top bounds how many outcomes the response lists (default 10).
+	Top int `json:"top,omitempty"`
+}
+
+// OutcomeCount is one output-histogram row.
+type OutcomeCount struct {
+	Outcome     string  `json:"outcome"`
+	Count       int     `json:"count"`
+	Probability float64 `json:"probability"`
+}
+
+// PolicyMetrics carries the paper's reliability metrics for a run whose
+// correct answer is known.
+type PolicyMetrics struct {
+	PST  float64 `json:"pst"`
+	IST  float64 `json:"ist"`
+	ROCA int     `json:"roca"`
+}
+
+// AIMCandidate is one canary-phase candidate with its tailored
+// inversion string.
+type AIMCandidate struct {
+	Output     string  `json:"output"`
+	Likelihood float64 `json:"likelihood"`
+	Inversion  string  `json:"inversion"`
+}
+
+// ProfileInfo describes a cached RBMS profile.
+type ProfileInfo struct {
+	Machine            string    `json:"machine"`
+	Width              int       `json:"width"`
+	Method             string    `json:"method"`
+	Layout             []int     `json:"layout"`
+	Shots              int       `json:"shots"`
+	LearnedAt          time.Time `json:"learned_at"`
+	AgeMS              int64     `json:"age_ms"`
+	Stale              bool      `json:"stale"`
+	Strongest          string    `json:"strongest"`
+	HammingCorrelation *float64  `json:"hamming_correlation,omitempty"`
+}
+
+// MitigateProfile reports which profile an AIM run used and whether it
+// came from the cache. Degraded marks a stale profile served because
+// re-characterization failed.
+type MitigateProfile struct {
+	ProfileInfo
+	Cached   bool `json:"cached"`
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// MitigateResponse is the body of a successful POST /v1/mitigate.
+type MitigateResponse struct {
+	Envelope
+	Machine          string           `json:"machine"`
+	Benchmark        string           `json:"benchmark"`
+	Policy           string           `json:"policy"`
+	Shots            int              `json:"shots"`
+	Seed             int64            `json:"seed"`
+	Layout           []int            `json:"layout"`
+	Swaps            int              `json:"swaps"`
+	Outcomes         []OutcomeCount   `json:"outcomes"`
+	DistinctOutcomes int              `json:"distinct_outcomes"`
+	Metrics          *PolicyMetrics   `json:"metrics,omitempty"`
+	Correct          []string         `json:"correct,omitempty"`
+	Strongest        string           `json:"strongest,omitempty"`
+	Candidates       []AIMCandidate   `json:"candidates,omitempty"`
+	Profile          *MitigateProfile `json:"profile,omitempty"`
+	// Degraded is true when the run leaned on stale data (see
+	// MitigateProfile.Degraded): the result is usable but the caller
+	// should know the machine view behind it is old.
+	Degraded  bool    `json:"degraded,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// CharacterizeRequest is the body of POST /v1/characterize. The
+// characterization budget is a server setting (-profile-shots), not a
+// request field, so every caller of a cached profile gets the same
+// quality.
+type CharacterizeRequest struct {
+	Machine string `json:"machine"`
+	// Method is brute, esct, or awct; empty or "auto" picks brute for
+	// ≤5 qubits, awct beyond.
+	Method string `json:"method,omitempty"`
+	// Qubits is the register width to characterize; zero selects
+	// min(machine, 5) for brute and the machine size otherwise.
+	Qubits int `json:"qubits,omitempty"`
+	// Force re-learns the profile even if a fresh one is cached.
+	Force bool `json:"force,omitempty"`
+	// IncludeStrengths adds the relative per-state strengths to the
+	// response (always included for widths ≤ 8).
+	IncludeStrengths bool `json:"include_strengths,omitempty"`
+	// TimeoutMS overrides the default per-request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// CharacterizeResponse is the body of a successful POST /v1/characterize.
+type CharacterizeResponse struct {
+	Envelope
+	Profile ProfileInfo `json:"profile"`
+	Cached  bool        `json:"cached"`
+	// Degraded is true when the returned profile is stale and
+	// re-characterization failed, so the stale one was served instead.
+	Degraded  bool      `json:"degraded,omitempty"`
+	Strengths []float64 `json:"strengths,omitempty"` // relative, strongest = 1
+	ElapsedMS float64   `json:"elapsed_ms"`
+}
+
+// ProfilesResponse is the body of GET /v1/profiles.
+type ProfilesResponse struct {
+	Envelope
+	Profiles []ProfileInfo `json:"profiles"`
+}
+
+// HealthMachine is one machine's health row: the circuit-breaker state
+// ("closed", "open", or "half-open") and, when open, how long until the
+// next probe.
+type HealthMachine struct {
+	Machine      string `json:"machine"`
+	Breaker      string `json:"breaker"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// HealthResponse is the body of GET /healthz. Status is "ok" when every
+// breaker is closed and no cached profile is stale, "degraded" when any
+// breaker is not closed or stale profiles are being served, and
+// "unavailable" (HTTP 503) when every machine's breaker is open.
+type HealthResponse struct {
+	Envelope
+	Status         string          `json:"status"`
+	UptimeMS       int64           `json:"uptime_ms"`
+	Machines       []HealthMachine `json:"machines,omitempty"`
+	ProfilesCached int             `json:"profiles_cached"`
+	ProfilesStale  int             `json:"profiles_stale"`
+}

@@ -145,6 +145,15 @@ type Options struct {
 	// applied to idle decoherence rather than readout. The two extra X
 	// gates pay their own gate-error and duration cost.
 	IdleInversion bool
+	// NoFastPath is a debug/verification knob: it disables the CDF batch
+	// sampler, the pooled trajectory state, and the compiled readout
+	// channel, running the original allocate-per-trajectory,
+	// linear-scan-per-shot trial loop instead. Results are byte-identical
+	// either way — the fast path is stream-identical by construction and
+	// the equality tests assert it — so the only observable differences
+	// are time and allocations. The benchmark harness uses this to record
+	// the naive baseline the fast path is measured against.
+	NoFastPath bool
 }
 
 func (o Options) withDefaults(numQubits int) Options {
@@ -158,18 +167,23 @@ func (o Options) withDefaults(numQubits int) Options {
 	return o
 }
 
-// Run executes c on dev and returns the histogram of measured outcomes
-// over all device qubits. The circuit must already be expressed on
-// physical qubits: its register must match the device size, and every
-// two-qubit gate must act on a coupled pair (use internal/transpile to
-// map logical circuits first).
+// Run is RunContext with a background context — a convenience for
+// call sites with nothing to cancel. New code should take and pass a
+// context and call RunContext directly.
 func Run(c *circuit.Circuit, dev *device.Device, opt Options) (*dist.Counts, error) {
 	return RunContext(context.Background(), c, dev, opt)
 }
 
-// RunContext is Run with cancellation: the trial loop checks ctx between
-// trajectory batches (and between parallel worker chunks), so a
-// long-running job stops within one batch of a cancellation or timeout.
+// RunContext is the canonical entry point of the executor: it runs c on
+// dev and returns the histogram of measured outcomes over all device
+// qubits. The circuit must already be expressed on physical qubits: its
+// register must match the device size, and every two-qubit gate must
+// act on a coupled pair (use internal/transpile to map logical circuits
+// first). The trial loop checks ctx between trajectory batches (and
+// between parallel worker chunks), so a long-running job stops within
+// one batch of a cancellation or timeout. Every execution-path layer —
+// chaos injection, resilient retries, the serving daemon — composes
+// over this signature (see Runner).
 func RunContext(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt Options) (*dist.Counts, error) {
 	if c.NumQubits != dev.NumQubits {
 		return nil, fmt.Errorf("backend: circuit register %d does not match device %s with %d qubits",
@@ -183,7 +197,10 @@ func RunContext(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt
 	}
 	opt = opt.withDefaults(dev.NumQubits)
 
-	readout := dev.ReadoutModel()
+	// Compile the readout channel once per run: Apply then corrupts each
+	// shot against precomputed per-qubit flip thresholds instead of
+	// rebuilding a flip-probability slice per shot.
+	readout := dev.ReadoutModel().Compile()
 
 	var idle *idlePlan
 	if opt.ScheduleAwareDecay && !opt.NoDecay {
@@ -207,7 +224,75 @@ func RunContext(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt
 
 // runShots executes the trial loop sequentially into counts, stopping
 // between trajectory batches if ctx ends.
+//
+// This is the hot path of the entire system: every SIM group, AIM
+// canary, and profiler preparation bottoms out here, millions of shots
+// per experiment. The fast path (default) holds one pooled state vector
+// for the whole loop, re-preparing it in place per trajectory, and
+// samples each trajectory batch through a CDF built once per trajectory
+// (O(2^n) once + O(n) binary search per shot) instead of linear-scanning
+// 2^n amplitudes on every shot. Both the CDF sampler and the compiled
+// readout channel are stream-identical to the naive operations — same
+// rng draws, same comparisons, same tie semantics — so the recorded
+// counts are byte-identical to Options.NoFastPath (asserted by
+// TestFastPathMatchesNaive and the fuzz suite in internal/quantum).
 func runShots(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt Options, idle *idlePlan,
+	readout *noise.CompiledReadout, shots int, rng *rand.Rand, counts *dist.Counts) error {
+	if opt.NoFastPath {
+		return runShotsNaive(ctx, c, dev, opt, idle, readout.Model(), shots, rng, counts)
+	}
+	state := quantum.AcquireState(dev.NumQubits)
+	defer quantum.ReleaseState(state)
+	var sampler *quantum.Sampler
+	defer func() {
+		if sampler != nil {
+			quantum.ReleaseSampler(sampler)
+		}
+	}()
+	remaining := shots
+	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		batch := opt.ShotsPerTrajectory
+		if batch > remaining {
+			batch = remaining
+		}
+		runTrajectoryInto(state, c, dev, opt, idle, rng)
+		if batch == 1 {
+			// One draw amortizes nothing: the linear scan inspects half
+			// the amplitudes on average, building the CDF touches all of
+			// them. Same stream either way; keep the cheaper scan.
+			out := state.Sample(rng)
+			if !opt.NoReadoutError {
+				out = readout.Apply(out, rng)
+			}
+			counts.Add(out, 1)
+			remaining--
+			continue
+		}
+		if sampler == nil {
+			sampler = quantum.AcquireSampler(state)
+		} else {
+			sampler.Reset(state)
+		}
+		for i := 0; i < batch; i++ {
+			out := sampler.Sample(rng)
+			if !opt.NoReadoutError {
+				out = readout.Apply(out, rng)
+			}
+			counts.Add(out, 1)
+		}
+		remaining -= batch
+	}
+	return nil
+}
+
+// runShotsNaive is the pre-optimization trial loop, kept verbatim as the
+// verification oracle and benchmark baseline for the fast path: a fresh
+// 2^n state per trajectory, an O(2^n) linear scan per shot, and the
+// uncompiled readout channel per shot.
+func runShotsNaive(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt Options, idle *idlePlan,
 	readout *noise.ReadoutModel, shots int, rng *rand.Rand, counts *dist.Counts) error {
 	remaining := shots
 	for remaining > 0 {
@@ -236,7 +321,7 @@ func runShots(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt O
 // per-worker histograms in worker order so the result is a pure function
 // of (circuit, device, options).
 func runParallel(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt Options,
-	idle *idlePlan, readout *noise.ReadoutModel) (*dist.Counts, error) {
+	idle *idlePlan, readout *noise.CompiledReadout) (*dist.Counts, error) {
 	workers := opt.Workers
 	if workers > opt.Shots {
 		workers = opt.Shots
@@ -275,9 +360,21 @@ type idlePlan struct {
 	final  []schedule.QubitGap   // gaps ending at measurement
 }
 
-// runTrajectory simulates one noisy execution of the circuit.
+// runTrajectory simulates one noisy execution of the circuit into a
+// freshly allocated state (the naive path).
 func runTrajectory(c *circuit.Circuit, dev *device.Device, opt Options, idle *idlePlan, rng *rand.Rand) *quantum.State {
 	state := quantum.NewState(dev.NumQubits)
+	runTrajectoryInto(state, c, dev, opt, idle, rng)
+	return state
+}
+
+// runTrajectoryInto simulates one noisy execution of the circuit into
+// state, which is re-prepared to |00…0⟩ first — the in-place form the
+// fast path uses to reuse one pooled amplitude buffer across every
+// trajectory of a run. The rng consumption is identical to an execution
+// into a fresh state.
+func runTrajectoryInto(state *quantum.State, c *circuit.Circuit, dev *device.Device, opt Options, idle *idlePlan, rng *rand.Rand) {
+	state.Reset()
 	for i, op := range c.Ops {
 		if idle != nil {
 			for _, gap := range idle.before[i] {
@@ -295,7 +392,6 @@ func runTrajectory(c *circuit.Circuit, dev *device.Device, opt Options, idle *id
 			applyIdleGap(state, dev, opt, gap, rng)
 		}
 	}
-	return state
 }
 
 // applyIdleGap relaxes a qubit through one idle window, optionally with
@@ -373,10 +469,17 @@ func checkConnectivity(c *circuit.Circuit, dev *device.Device) error {
 
 // RunIdeal returns the exact error-free output distribution of c — the
 // reference the paper calls the "ideal quantum computer" (Fig 3b). Cost
-// is one state-vector simulation.
+// is one state-vector simulation. Callers that evaluate it in loops
+// (the QAOA angle optimizer runs one per objective evaluation) pay no
+// per-call 2^n allocations: the state and probability buffers come from
+// the pools in internal/quantum.
 func RunIdeal(c *circuit.Circuit) dist.Dist {
-	state := c.Simulate()
-	probs := state.Probabilities()
+	state := quantum.AcquireState(c.NumQubits)
+	defer quantum.ReleaseState(state)
+	c.SimulateInto(state)
+	probs := quantum.AcquireProbs(c.NumQubits)
+	defer quantum.ReleaseProbs(c.NumQubits, probs)
+	state.ProbabilitiesInto(probs)
 	d := dist.NewDist(c.NumQubits)
 	for i, p := range probs {
 		if p > 1e-15 {

@@ -1,0 +1,259 @@
+// Package client is the typed Go client of the biasmitd HTTP API. It
+// speaks the wire contract defined in internal/api — the same structs
+// the server serializes — so request and response shapes are checked at
+// compile time on both sides.
+//
+// Failures surface as *api.Error: the typed envelope the daemon writes,
+// restored field-for-field (code, message, HTTP status, and the
+// Retry-After cooldown from the header). Callers branch on the stable
+// codes, never on message text:
+//
+//	resp, err := cl.Mitigate(ctx, req)
+//	var ae *api.Error
+//	if errors.As(err, &ae) && ae.Code == api.CodeBreakerOpen { ... }
+//
+// The client optionally retries breaker_open rejections itself
+// (WithBreakerRetries), sleeping out the server's advertised cooldown
+// under the caller's context deadline — the polite way to ride out a
+// machine's dark window.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"biasmit/internal/api"
+)
+
+// Client talks to one biasmitd instance. Construct with New; safe for
+// concurrent use (it shares one underlying http.Client).
+type Client struct {
+	base           string
+	http           *http.Client
+	breakerRetries int
+	retryCap       time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (custom
+// transports, test doubles). The default has no client-side timeout;
+// use context deadlines per call.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// WithBreakerRetries makes the client retry a request up to n times when
+// the daemon rejects it with breaker_open, sleeping the Retry-After
+// cooldown (capped at 30s, and always bounded by the call's context)
+// between attempts. Zero — the default — surfaces the rejection
+// immediately.
+func WithBreakerRetries(n int) Option {
+	return func(c *Client) { c.breakerRetries = n }
+}
+
+// New returns a client for the daemon at base, e.g.
+// "http://127.0.0.1:8080". A scheme-less base is assumed http.
+func New(base string, opts ...Option) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &Client{
+		base:     strings.TrimRight(base, "/"),
+		http:     &http.Client{},
+		retryCap: 30 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Mitigate runs POST /v1/mitigate: one benchmark under one measurement
+// policy on one machine.
+func (c *Client) Mitigate(ctx context.Context, req *api.MitigateRequest) (*api.MitigateResponse, error) {
+	out := new(api.MitigateResponse)
+	if err := c.call(ctx, http.MethodPost, "/v1/mitigate", req, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Characterize runs POST /v1/characterize: learn (or fetch the cached)
+// RBMS profile of a machine.
+func (c *Client) Characterize(ctx context.Context, req *api.CharacterizeRequest) (*api.CharacterizeResponse, error) {
+	out := new(api.CharacterizeResponse)
+	if err := c.call(ctx, http.MethodPost, "/v1/characterize", req, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Profiles runs GET /v1/profiles: the cached profile inventory.
+func (c *Client) Profiles(ctx context.Context) (*api.ProfilesResponse, error) {
+	out := new(api.ProfilesResponse)
+	if err := c.call(ctx, http.MethodGet, "/v1/profiles", nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Healthz runs GET /healthz. The daemon serves the health body with an
+// HTTP 503 when every machine's breaker is open ("unavailable"), and
+// that still decodes here: callers read Status rather than an error, so
+// a degraded daemon is observable, not opaque.
+func (c *Client) Healthz(ctx context.Context) (*api.HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return nil, err
+	}
+	out := new(api.HealthResponse)
+	if err := json.Unmarshal(data, out); err == nil && out.Status != "" {
+		if out.APIVersion != api.Version {
+			return nil, versionError(out.APIVersion)
+		}
+		return out, nil
+	}
+	return nil, decodeError(resp, data)
+}
+
+// Metrics runs GET /metrics and returns the Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp, data)
+	}
+	return string(data), nil
+}
+
+// maxResponseBytes bounds response bodies, mirroring the server's
+// request-body cap.
+const maxResponseBytes = 8 << 20
+
+// call performs one JSON round-trip, retrying breaker_open rejections
+// when configured.
+func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, in, out)
+		if err == nil {
+			return nil
+		}
+		ae, ok := err.(*api.Error)
+		if !ok || ae.Code != api.CodeBreakerOpen || attempt >= c.breakerRetries {
+			return err
+		}
+		cooldown := ae.RetryAfter
+		if cooldown <= 0 {
+			cooldown = time.Second
+		}
+		if cooldown > c.retryCap {
+			cooldown = c.retryCap
+		}
+		timer := time.NewTimer(cooldown)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+func (c *Client) once(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	var probe struct {
+		APIVersion string `json:"api_version"`
+	}
+	if err := json.Unmarshal(data, &probe); err == nil && probe.APIVersion != api.Version {
+		return versionError(probe.APIVersion)
+	}
+	return nil
+}
+
+// decodeError restores the typed error envelope from a non-2xx
+// response, re-attaching the transport-level fields the body does not
+// carry: the HTTP status and the Retry-After cooldown.
+func decodeError(resp *http.Response, data []byte) error {
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Error == nil || env.Error.Code == "" {
+		return fmt.Errorf("client: HTTP %d with untyped body: %s", resp.StatusCode, truncate(data))
+	}
+	ae := env.Error
+	ae.Status = resp.StatusCode
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.ParseInt(ra, 10, 64); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
+}
+
+func versionError(got string) error {
+	return fmt.Errorf("client: server speaks api_version %q, this client %q", got, api.Version)
+}
+
+func truncate(data []byte) string {
+	const max = 256
+	if len(data) <= max {
+		return string(data)
+	}
+	return string(data[:max]) + "…"
+}

@@ -75,10 +75,20 @@ func (m *Matrix) Purity() float64 {
 // Probabilities returns the measurement distribution diag(ρ).
 func (m *Matrix) Probabilities() []float64 {
 	out := make([]float64, m.d)
-	for i := 0; i < m.d; i++ {
-		out[i] = real(m.rho[i*m.d+i])
-	}
+	m.ProbabilitiesInto(out)
 	return out
+}
+
+// ProbabilitiesInto writes diag(ρ) into dst, the allocation-free form of
+// Probabilities for callers that evaluate channels in loops; dst must
+// have length exactly 2^n.
+func (m *Matrix) ProbabilitiesInto(dst []float64) {
+	if len(dst) != m.d {
+		panic(fmt.Sprintf("density: ProbabilitiesInto dst length %d for dimension %d", len(dst), m.d))
+	}
+	for i := 0; i < m.d; i++ {
+		dst[i] = real(m.rho[i*m.d+i])
+	}
 }
 
 func (m *Matrix) checkQubit(q int) {
@@ -319,7 +329,9 @@ func (m *Matrix) OutputDist(readout *noise.ReadoutModel) dist.Dist {
 	if readout.NumQubits() != m.n {
 		panic(fmt.Sprintf("density: readout model has %d qubits for %d-qubit state", readout.NumQubits(), m.n))
 	}
-	probs := m.Probabilities()
+	probs := quantum.AcquireProbs(m.n)
+	defer quantum.ReleaseProbs(m.n, probs)
+	m.ProbabilitiesInto(probs)
 	out := dist.NewDist(m.n)
 	for _, x := range bitstring.All(m.n) {
 		px := probs[x.Uint64()]

@@ -1,6 +1,7 @@
 package density
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -150,7 +151,7 @@ func TestTrajectoriesConvergeToExactChannel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	counts, err := backend.Run(c, dev, backend.Options{Shots: 120000, Seed: 31})
+	counts, err := backend.RunContext(context.Background(), c, dev, backend.Options{Shots: 120000, Seed: 31})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestTrajectoriesConvergeOnBVKernel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	counts, err := backend.Run(c, dev, backend.Options{Shots: 120000, Seed: 37})
+	counts, err := backend.RunContext(context.Background(), c, dev, backend.Options{Shots: 120000, Seed: 37})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -152,6 +152,88 @@ func (m *ReadoutModel) Apply(x bitstring.Bits, rng *rand.Rand) bitstring.Bits {
 	return out
 }
 
+// CompiledReadout is a ReadoutModel with its per-qubit flip thresholds
+// precomputed for the shot loop: the two misread probabilities of every
+// qubit live in flat arrays and the correlated-flip terms are grouped by
+// target, so Apply computes each qubit's effective flip probability with
+// no allocation and no scan over the full correlation list per shot.
+//
+// Stream identity: CompiledReadout.Apply consumes the rng exactly as
+// ReadoutModel.Apply does — one Float64 per qubit whose flip probability
+// is positive, in ascending qubit order, compared with `<` against the
+// same IEEE-754 probability values (correlations fold in the same order
+// as the model's Correlations slice) — so the corrupted outcome stream
+// is byte-identical. The equality tests in this package and the backend
+// fast-path suite assert exactly that.
+//
+// Compile snapshots the model: mutations to the ReadoutModel after
+// compiling are not reflected.
+type CompiledReadout struct {
+	model        *ReadoutModel
+	p01, p10     []float64
+	corrByTarget [][]CorrelatedFlip // nil when the model has no correlations
+}
+
+// Compile precomputes the per-qubit flip thresholds of m.
+func (m *ReadoutModel) Compile() *CompiledReadout {
+	n := len(m.PerQubit)
+	c := &CompiledReadout{
+		model: m,
+		p01:   make([]float64, n),
+		p10:   make([]float64, n),
+	}
+	for i, r := range m.PerQubit {
+		c.p01[i] = r.P01
+		c.p10[i] = r.P10
+	}
+	if len(m.Correlations) > 0 {
+		c.corrByTarget = make([][]CorrelatedFlip, n)
+		// Grouping by target preserves the Correlations slice order within
+		// each target, so repeated correlations on one qubit fold in the
+		// same order as ReadoutModel.flipProbs.
+		for _, corr := range m.Correlations {
+			c.corrByTarget[corr.Target] = append(c.corrByTarget[corr.Target], corr)
+		}
+	}
+	return c
+}
+
+// Model returns the ReadoutModel this was compiled from.
+func (c *CompiledReadout) Model() *ReadoutModel { return c.model }
+
+// NumQubits returns the register size of the compiled model.
+func (c *CompiledReadout) NumQubits() int { return len(c.p01) }
+
+// Apply corrupts one measured outcome exactly as ReadoutModel.Apply
+// does (see the type comment for the stream-identity contract), without
+// allocating.
+func (c *CompiledReadout) Apply(x bitstring.Bits, rng *rand.Rand) bitstring.Bits {
+	n := len(c.p01)
+	if x.Width() != n {
+		panic(fmt.Sprintf("noise: outcome width %d does not match model %d", x.Width(), n))
+	}
+	out := x
+	for i := 0; i < n; i++ {
+		var pi float64
+		if x.Bit(i) {
+			pi = c.p10[i]
+		} else {
+			pi = c.p01[i]
+		}
+		if c.corrByTarget != nil {
+			for _, corr := range c.corrByTarget[i] {
+				if x.Bit(corr.Trigger) == corr.TriggerState {
+					pi = pi + corr.PExtra - pi*corr.PExtra
+				}
+			}
+		}
+		if pi > 0 && rng.Float64() < pi {
+			out = out.SetBit(i, !out.Bit(i))
+		}
+	}
+	return out
+}
+
 // SuccessProb returns the exact probability that state x is read back
 // correctly — the paper's Basis Measurement Strength (BMS) of x.
 func (m *ReadoutModel) SuccessProb(x bitstring.Bits) float64 {

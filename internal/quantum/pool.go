@@ -1,0 +1,85 @@
+package quantum
+
+import "sync"
+
+// Per-width free lists for the two large buffers of the trial loop: the
+// 2^n-amplitude state vector a trajectory evolves, and the 2^n-entry
+// prefix array its sampler binary-searches. The backend acquires one of
+// each per runShots call and releases them when the loop ends, so a
+// million-shot run allocates O(1) large buffers instead of one per
+// trajectory. sync.Pool keeps the lists per-P and GC-aware, which is
+// exactly the lifecycle wanted here: hot servers keep buffers warm, idle
+// processes give them back.
+var (
+	statePools   [MaxQubits + 1]sync.Pool
+	samplerPools [MaxQubits + 1]sync.Pool
+	probPools    [MaxQubits + 1]sync.Pool
+)
+
+// AcquireState returns an n-qubit ground state |00…0⟩, reusing a pooled
+// amplitude buffer when one is available. The caller owns the state
+// until it passes it to ReleaseState; never release a state that other
+// code may still hold.
+func AcquireState(n int) *State {
+	if n < 1 || n > MaxQubits {
+		return NewState(n) // delegate the panic with its range message
+	}
+	if v := statePools[n].Get(); v != nil {
+		s := v.(*State)
+		s.Reset()
+		return s
+	}
+	return NewState(n)
+}
+
+// ReleaseState returns s's buffers to the per-width pool. s must not be
+// used afterwards.
+func ReleaseState(s *State) {
+	if s == nil || s.n < 1 || s.n > MaxQubits {
+		return
+	}
+	statePools[s.n].Put(s)
+}
+
+// AcquireProbs returns a 2^n-entry probability buffer for
+// State.ProbabilitiesInto, reusing a pooled one when available. The
+// contents are unspecified; callers overwrite the whole buffer.
+func AcquireProbs(n int) []float64 {
+	if n >= 1 && n <= MaxQubits {
+		if v := probPools[n].Get(); v != nil {
+			return *(v.(*[]float64))
+		}
+	}
+	return make([]float64, 1<<uint(n))
+}
+
+// ReleaseProbs returns a buffer obtained from AcquireProbs to the pool.
+// The buffer must not be used afterwards.
+func ReleaseProbs(n int, p []float64) {
+	if n < 1 || n > MaxQubits || len(p) != 1<<uint(n) {
+		return
+	}
+	probPools[n].Put(&p)
+}
+
+// AcquireSampler returns a Sampler holding the CDF of s, reusing a
+// pooled prefix buffer of the same width when one is available.
+func AcquireSampler(s *State) *Sampler {
+	if s.n >= 1 && s.n <= MaxQubits {
+		if v := samplerPools[s.n].Get(); v != nil {
+			sp := v.(*Sampler)
+			sp.Reset(s)
+			return sp
+		}
+	}
+	return NewSampler(s)
+}
+
+// ReleaseSampler returns sp's prefix buffer to the per-width pool. sp
+// must not be used afterwards.
+func ReleaseSampler(sp *Sampler) {
+	if sp == nil || sp.n < 1 || sp.n > MaxQubits {
+		return
+	}
+	samplerPools[sp.n].Put(sp)
+}

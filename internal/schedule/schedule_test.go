@@ -1,6 +1,7 @@
 package schedule_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -175,13 +176,13 @@ func TestScheduleAwareDecayWeakensIdleOnes(t *testing.T) {
 		c.CX(0, 1)
 	}
 	const shots = 20000
-	gateOnly, err := backend.Run(c, dev, backend.Options{
+	gateOnly, err := backend.RunContext(context.Background(), c, dev, backend.Options{
 		Shots: shots, Seed: 61, NoGateNoise: true, NoReadoutError: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	scheduled, err := backend.Run(c, dev, backend.Options{
+	scheduled, err := backend.RunContext(context.Background(), c, dev, backend.Options{
 		Shots: shots, Seed: 62, NoGateNoise: true, NoReadoutError: true,
 		ScheduleAwareDecay: true,
 	})
@@ -211,13 +212,13 @@ func TestScheduleAwareDecayWeakensIdleOnes(t *testing.T) {
 func TestScheduleAwareDecayNoopWhenNoDecay(t *testing.T) {
 	dev := device.IBMQX2()
 	c := circuit.New(5, "x").PrepareBasis(bitstring.MustParse("11111"))
-	a, err := backend.Run(c, dev, backend.Options{
+	a, err := backend.RunContext(context.Background(), c, dev, backend.Options{
 		Shots: 2000, Seed: 63, NoDecay: true, NoGateNoise: true, NoReadoutError: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := backend.Run(c, dev, backend.Options{
+	b, err := backend.RunContext(context.Background(), c, dev, backend.Options{
 		Shots: 2000, Seed: 63, NoDecay: true, NoGateNoise: true, NoReadoutError: true,
 		ScheduleAwareDecay: true,
 	})
@@ -261,7 +262,7 @@ func TestIdleInversionEqualizesDecay(t *testing.T) {
 		return c
 	}
 	survival := func(c *circuit.Circuit, want bitstring.Bits, inversion bool, seed int64) float64 {
-		counts, err := backend.Run(c, dev, backend.Options{
+		counts, err := backend.RunContext(context.Background(), c, dev, backend.Options{
 			Shots: 30000, Seed: seed, NoGateNoise: true, NoReadoutError: true,
 			ScheduleAwareDecay: true, IdleInversion: inversion,
 		})

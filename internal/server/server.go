@@ -703,7 +703,7 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires GET", r.URL.Path))
 		return
 	}
-	resp := ProfilesResponse{Profiles: []ProfileInfo{}}
+	resp := &ProfilesResponse{Profiles: []ProfileInfo{}}
 	for _, p := range s.store.Profiles() {
 		resp.Profiles = append(resp.Profiles, s.profileInfo(p))
 	}
@@ -721,7 +721,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires GET", r.URL.Path))
 		return
 	}
-	resp := HealthResponse{
+	resp := &HealthResponse{
 		Status:   "ok",
 		UptimeMS: time.Since(s.start).Milliseconds(),
 	}

@@ -1,6 +1,7 @@
 package transpile
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -60,7 +61,7 @@ func TestRoutedCircuitPreservesSemantics(t *testing.T) {
 	if plan.SwapCount == 0 {
 		t.Fatal("expected SWAPs for an adversarial layout")
 	}
-	counts, err := backend.Run(plan.Physical, dev, backend.Options{
+	counts, err := backend.RunContext(context.Background(), plan.Physical, dev, backend.Options{
 		Shots: 30000, Seed: 21, NoGateNoise: true, NoDecay: true, NoReadoutError: true,
 	})
 	if err != nil {
@@ -184,7 +185,7 @@ func TestExtractLogicalAfterRouting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	counts, err := backend.Run(plan.Physical, dev, backend.Options{
+	counts, err := backend.RunContext(context.Background(), plan.Physical, dev, backend.Options{
 		Shots: 2000, Seed: 22, NoGateNoise: true, NoDecay: true, NoReadoutError: true,
 	})
 	if err != nil {
@@ -207,7 +208,7 @@ func TestEndToEndInversionIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	counts, err := backend.Run(plan.WithInversion(s), dev, backend.Options{
+	counts, err := backend.RunContext(context.Background(), plan.WithInversion(s), dev, backend.Options{
 		Shots: 1000, Seed: 23, NoGateNoise: true, NoDecay: true, NoReadoutError: true,
 	})
 	if err != nil {

@@ -5,7 +5,7 @@
 // real Go callers use, and a contract break fails to compile instead of
 // failing to grep.
 //
-// Two scenarios, selected with -scenario:
+// Three scenarios, selected with -scenario:
 //
 //	serve    health, an AIM profile-cache miss/hit pair, a typed
 //	         over-budget rejection, and the /metrics counters that prove
@@ -16,6 +16,14 @@
 //	         the cooldown the half-open probe recovers the machine.
 //	         Expects the daemon started with -chaos-fail-first 2
 //	         -retry-attempts 1 -breaker-threshold 2.
+//	recover  crash-recovery round-trip. Unlike the other two, this
+//	         scenario manages the daemon itself (-daemon, -data-dir): it
+//	         boots one, learns profiles, records an AIM run, SIGKILLs
+//	         the daemon mid-characterization, corrupts the WAL tail the
+//	         way a torn write would, restarts from the same -data-dir,
+//	         and asserts the profiles serve warm — original learned_at,
+//	         zero re-characterizations, byte-identical mitigation
+//	         output — before stopping the second daemon gracefully.
 //
 // Exits 0 when every assertion holds, 1 with a message otherwise.
 package main
@@ -36,8 +44,10 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8080", "daemon address (host:port or URL)")
-	scenario := flag.String("scenario", "serve", "round-trip to run: serve or breaker")
+	addr := flag.String("addr", "127.0.0.1:8080", "daemon address (host:port or URL; serve/breaker scenarios)")
+	scenario := flag.String("scenario", "serve", "round-trip to run: serve, breaker, or recover")
+	daemonBin := flag.String("daemon", "", "path to the biasmitd binary (recover scenario)")
+	dataDir := flag.String("data-dir", "", "durable store directory handed to the daemon (recover scenario)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
 	flag.Parse()
 	log.SetFlags(0)
@@ -45,14 +55,15 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	cl := client.New(*addr)
 
 	var err error
 	switch *scenario {
 	case "serve":
-		err = serveScenario(ctx, cl)
+		err = serveScenario(ctx, client.New(*addr))
 	case "breaker":
-		err = breakerScenario(ctx, cl)
+		err = breakerScenario(ctx, client.New(*addr))
+	case "recover":
+		err = recoverScenario(ctx, *daemonBin, *dataDir)
 	default:
 		err = fmt.Errorf("unknown scenario %q", *scenario)
 	}

@@ -7,10 +7,18 @@
 //
 //	biasmitd -addr 127.0.0.1:8642
 //	biasmitd -addr :0 -workers 4 -profile-ttl 30m -refresh-interval 5m
+//	biasmitd -data-dir /var/lib/biasmitd -snapshot-interval 5m -max-profiles 64
 //
 //	curl -s localhost:8642/healthz
 //	curl -s -X POST localhost:8642/v1/mitigate \
 //	  -d '{"machine":"ibmqx4","policy":"aim","benchmark":"bv-4A","shots":8192}'
+//
+// With -data-dir the profile store is durable: every learned profile is
+// journaled to a checksummed WAL (fsync-on-commit) and periodically
+// compacted into a snapshot, and a restarted daemon — even after kill
+// -9 — warm-loads every committed profile instead of cold-starting into
+// a characterization storm. -preload imports profile files written by
+// `characterize -out` (same serialization) into the store at boot.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests get -drain-timeout to finish, then the process
@@ -26,10 +34,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"biasmit/internal/chaos"
+	"biasmit/internal/persist"
+	"biasmit/internal/profilestore"
 	"biasmit/internal/server"
 )
 
@@ -46,6 +57,10 @@ func main() {
 	profileShots := flag.Int("profile-shots", 2048, "characterization trials per basis state (brute) / window (awct) / total (esct)")
 	profileTTL := flag.Duration("profile-ttl", 30*time.Minute, "how long cached RBMS profiles stay fresh")
 	refreshInterval := flag.Duration("refresh-interval", 0, "background profile refresh period (0 = disabled)")
+	dataDir := flag.String("data-dir", "", "durable profile store directory (WAL + snapshots; empty = memory-only)")
+	snapshotInterval := flag.Duration("snapshot-interval", 5*time.Minute, "how often the WAL is compacted into a snapshot (needs -data-dir)")
+	maxProfiles := flag.Int("max-profiles", 0, "profile cache bound; past it the LRU profile is evicted (0 = unbounded)")
+	preload := flag.String("preload", "", "comma-separated profile files (characterize -out format) imported at boot")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 	seed := flag.Int64("seed", 1, "base seed for characterization runs")
 	retryAttempts := flag.Int("retry-attempts", 4, "execution attempts per backend run before its transient error surfaces (1 disables retries)")
@@ -62,6 +77,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var dlog *profilestore.DiskLog
+	if *dataDir != "" {
+		var err error
+		dlog, err = profilestore.OpenDiskLog(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec := dlog.Recovery()
+		log.Printf("recovered %d profiles from %s (snapshot %d, WAL %d replayed / %d skipped%s)",
+			rec.Profiles, *dataDir, rec.SnapshotProfiles, rec.WALRecords, rec.WALSkipped,
+			map[bool]string{true: ", torn tail dropped", false: ""}[rec.TailTruncated])
+	}
+
 	srv := server.New(server.Config{
 		Workers:          *workers,
 		MaxJobs:          *maxJobs,
@@ -77,9 +105,26 @@ func main() {
 		SliceShots:       *sliceShots,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
+		Persist:          dlog,
+		MaxProfiles:      *maxProfiles,
 	})
+	if *preload != "" {
+		for _, path := range strings.Split(*preload, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			if err := preloadProfile(srv, path); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("preloaded profile from %s", path)
+		}
+	}
 	if *refreshInterval > 0 {
 		go srv.Store().RefreshLoop(ctx, *refreshInterval)
+	}
+	if dlog != nil && *snapshotInterval > 0 {
+		go dlog.CompactLoop(ctx, *snapshotInterval)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -107,7 +152,37 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("drain incomplete: %v", err)
 		_ = httpSrv.Close()
+		if dlog != nil {
+			_ = dlog.Close()
+		}
 		os.Exit(1)
 	}
+	if dlog != nil {
+		// Final compaction: a clean shutdown leaves a fresh snapshot and
+		// an empty WAL, so the next boot replays nothing.
+		if err := dlog.Close(); err != nil {
+			log.Printf("closing profile journal: %v", err)
+		}
+	}
 	log.Printf("drained cleanly")
+}
+
+// preloadProfile imports one `characterize -out` file into the store —
+// the same persist.ProfileRecord serialization the WAL and snapshots
+// use, so anything the CLI saved is loadable here.
+func preloadProfile(srv *server.Server, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec, err := persist.LoadProfile(f)
+	if err != nil {
+		return err
+	}
+	p, err := profilestore.FromRecord(rec)
+	if err != nil {
+		return err
+	}
+	return srv.Store().Import(p)
 }

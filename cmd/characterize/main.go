@@ -163,9 +163,21 @@ func main() {
 	}
 
 	if *out != "" {
-		meta := persist.RBMSMeta{Machine: dev.Name, Layout: layout, Method: *method}
+		// The same persist.ProfileRecord serialization biasmitd's WAL and
+		// snapshots use, so this file is importable with `biasmitd
+		// -preload` (Shots and LearnedAt carry the provenance the store
+		// needs for TTL accounting).
+		rec := persist.ProfileRecord{
+			Machine:   dev.Name,
+			Layout:    layout,
+			Method:    *method,
+			Width:     rbms.Width,
+			Strength:  rbms.Strength,
+			Shots:     *shots,
+			LearnedAt: time.Now().UTC(),
+		}
 		err := persist.WriteFileAtomic(*out, func(w io.Writer) error {
-			return persist.SaveRBMS(w, rbms, meta)
+			return persist.SaveProfile(w, rec)
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -40,5 +40,12 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("persist: renaming into %s: %w", path, err)
 	}
+	// Sync the directory so the rename itself survives a crash — without
+	// this the file contents are durable but the name pointing at them
+	// may not be. Best effort on filesystems that refuse directory syncs.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"biasmit/internal/core"
 	"biasmit/internal/correct"
@@ -32,6 +33,7 @@ const (
 	KindDevice   = "biasmit/device"
 	KindRBMS     = "biasmit/rbms"
 	KindTensored = "biasmit/tensored-calibration"
+	KindSnapshot = "biasmit/profile-snapshot"
 )
 
 const currentVersion = 1
@@ -86,14 +88,47 @@ func LoadDevice(r io.Reader) (*device.Device, error) {
 	return &d, nil
 }
 
-// rbmsPayload is the on-disk form of a measurement-strength profile,
-// annotated with where it came from.
-type rbmsPayload struct {
-	Machine  string    `json:"machine,omitempty"`
-	Layout   []int     `json:"layout,omitempty"`
-	Method   string    `json:"method,omitempty"`
-	Width    int       `json:"width"`
-	Strength []float64 `json:"strength"`
+// ProfileRecord is the one on-disk form of a learned measurement
+// strength profile. Everything that persists a profile — the
+// characterize CLI's -out file, the profile store's WAL records, and
+// its compacted snapshots — serializes this exact struct, so a profile
+// written by any of them is loadable by all of them. Shots and
+// LearnedAt are provenance; files from before they existed decode with
+// both zero.
+type ProfileRecord struct {
+	Machine   string    `json:"machine,omitempty"`
+	Layout    []int     `json:"layout,omitempty"`
+	Method    string    `json:"method,omitempty"`
+	Width     int       `json:"width"`
+	Strength  []float64 `json:"strength"`
+	Shots     int       `json:"shots,omitempty"`
+	LearnedAt time.Time `json:"learned_at"`
+}
+
+// RBMS reconstructs (and validates) the profile's strength series.
+func (p ProfileRecord) RBMS() (core.RBMS, error) {
+	rbms, err := core.NewRBMS(p.Width, p.Strength)
+	if err != nil {
+		return core.RBMS{}, fmt.Errorf("persist: profile record is invalid: %w", err)
+	}
+	return rbms, nil
+}
+
+// SaveProfile writes one profile record inside the standard envelope.
+func SaveProfile(w io.Writer, rec ProfileRecord) error {
+	return save(w, KindRBMS, rec)
+}
+
+// LoadProfile reads one profile record and validates its strengths.
+func LoadProfile(r io.Reader) (ProfileRecord, error) {
+	var rec ProfileRecord
+	if err := load(r, KindRBMS, &rec); err != nil {
+		return ProfileRecord{}, err
+	}
+	if _, err := rec.RBMS(); err != nil {
+		return ProfileRecord{}, err
+	}
+	return rec, nil
 }
 
 // RBMSMeta annotates a saved profile with its provenance.
@@ -103,9 +138,11 @@ type RBMSMeta struct {
 	Method  string // "brute", "esct", "awct", …
 }
 
-// SaveRBMS writes a learned measurement-strength profile.
+// SaveRBMS writes a learned measurement-strength profile. It is a thin
+// wrapper over SaveProfile kept for callers that carry the RBMS and its
+// provenance separately.
 func SaveRBMS(w io.Writer, r core.RBMS, meta RBMSMeta) error {
-	return save(w, KindRBMS, rbmsPayload{
+	return SaveProfile(w, ProfileRecord{
 		Machine:  meta.Machine,
 		Layout:   meta.Layout,
 		Method:   meta.Method,
@@ -116,15 +153,41 @@ func SaveRBMS(w io.Writer, r core.RBMS, meta RBMSMeta) error {
 
 // LoadRBMS reads a profile and its provenance.
 func LoadRBMS(r io.Reader) (core.RBMS, RBMSMeta, error) {
-	var p rbmsPayload
-	if err := load(r, KindRBMS, &p); err != nil {
+	rec, err := LoadProfile(r)
+	if err != nil {
 		return core.RBMS{}, RBMSMeta{}, err
 	}
-	rbms, err := core.NewRBMS(p.Width, p.Strength)
+	rbms, err := rec.RBMS()
 	if err != nil {
-		return core.RBMS{}, RBMSMeta{}, fmt.Errorf("persist: loaded profile is invalid: %w", err)
+		return core.RBMS{}, RBMSMeta{}, err
 	}
-	return rbms, RBMSMeta{Machine: p.Machine, Layout: p.Layout, Method: p.Method}, nil
+	return rbms, RBMSMeta{Machine: rec.Machine, Layout: rec.Layout, Method: rec.Method}, nil
+}
+
+// ProfileSnapshot is a compacted image of a profile store: every live
+// record plus the journal sequence number of the last WAL entry the
+// image reflects. Recovery loads the snapshot, then replays only WAL
+// entries with a higher sequence number — entries at or below LastSeq
+// are already folded in.
+type ProfileSnapshot struct {
+	LastSeq  uint64          `json:"last_seq"`
+	Profiles []ProfileRecord `json:"profiles"`
+}
+
+// SaveSnapshot writes a profile-store snapshot.
+func SaveSnapshot(w io.Writer, s ProfileSnapshot) error {
+	return save(w, KindSnapshot, s)
+}
+
+// LoadSnapshot reads a profile-store snapshot. Individual records are
+// not validated here; the store validates (and skips) them on load so
+// one bad record cannot block recovery of the rest.
+func LoadSnapshot(r io.Reader) (ProfileSnapshot, error) {
+	var s ProfileSnapshot
+	if err := load(r, KindSnapshot, &s); err != nil {
+		return ProfileSnapshot{}, err
+	}
+	return s, nil
 }
 
 // tensoredPayload is the on-disk form of a per-qubit confusion-matrix

@@ -1,0 +1,204 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// WAL framing: every record is [length u32 LE][CRC32-C u32 LE][payload].
+// The checksum covers the payload alone; the length field is sanity
+// checked against MaxWALRecord and the bytes remaining in the file, so a
+// corrupt header can never provoke an oversized allocation. A record is
+// durable once Append returns: the frame is written and fsynced before
+// the call completes (fsync-on-commit).
+//
+// Replay is truncated-tail tolerant by design. A crash (or kill -9) can
+// leave a partial frame at the end of the log — a header with no
+// payload, a payload cut short, or a checksum that never got its final
+// bytes. Replay treats the first undecodable frame as the torn tail of
+// an interrupted append: every intact record before it is applied, the
+// tail is dropped, and OpenWAL truncates the file back to the last
+// intact boundary so subsequent appends stay reachable. Corruption is
+// therefore assumed to live at the tail; a flipped byte mid-file drops
+// that record and everything after it, which is the honest reading of an
+// append-only log — nothing after a broken frame can be trusted to be
+// framed correctly.
+
+const (
+	walHeaderSize = 8
+	// MaxWALRecord bounds a single record's payload. Profile records are
+	// a few hundred kilobytes at the widest machine (2^14 strengths);
+	// anything claiming more is treated as corruption.
+	MaxWALRecord = 16 << 20
+)
+
+// walTable is CRC32-C (Castagnoli), the polynomial with hardware support
+// on both amd64 and arm64.
+var walTable = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendWALRecord appends one framed record for payload to dst and
+// returns the extended slice. Exposed so tests and the fuzz target can
+// build well-formed logs byte-for-byte.
+func AppendWALRecord(dst, payload []byte) []byte {
+	var hdr [walHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, walTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// WALReplay reports what a replay recovered.
+type WALReplay struct {
+	// Records is how many intact records were decoded and applied.
+	Records int
+	// ValidBytes is the offset just past the last intact record; bytes
+	// beyond it are the torn tail.
+	ValidBytes int64
+	// Truncated is true when the file held bytes past the last intact
+	// record — the signature of an append interrupted by a crash.
+	Truncated bool
+}
+
+// replayWAL scans data, invoking apply on every intact record in order.
+// It stops (without error) at the first frame that cannot be decoded.
+// An apply error aborts the replay and is returned: an intact checksum
+// with an undecodable payload is a schema problem, not a torn write, and
+// silently dropping committed records would be data loss.
+func replayWAL(data []byte, apply func(payload []byte) error) (WALReplay, error) {
+	var rep WALReplay
+	for {
+		rest := data[rep.ValidBytes:]
+		if len(rest) == 0 {
+			return rep, nil
+		}
+		if len(rest) < walHeaderSize {
+			rep.Truncated = true
+			return rep, nil
+		}
+		length := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if length > MaxWALRecord || int64(length) > int64(len(rest)-walHeaderSize) {
+			rep.Truncated = true
+			return rep, nil
+		}
+		payload := rest[walHeaderSize : walHeaderSize+int(length)]
+		if crc32.Checksum(payload, walTable) != sum {
+			rep.Truncated = true
+			return rep, nil
+		}
+		if err := apply(payload); err != nil {
+			return rep, fmt.Errorf("persist: WAL record %d: %w", rep.Records, err)
+		}
+		rep.Records++
+		rep.ValidBytes += int64(walHeaderSize) + int64(length)
+	}
+}
+
+// WAL is an append-only, checksummed record log. Construct with OpenWAL;
+// methods are safe for concurrent use.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	size int64 // bytes of intact records on disk
+	buf  []byte
+}
+
+// OpenWAL opens (creating if absent) the log at path, replays every
+// intact record through apply in append order, drops and truncates any
+// torn tail, and returns the log positioned for appending. The returned
+// WALReplay describes what was recovered. A non-nil error from apply
+// aborts the open — see replayWAL for why that is not treated as a torn
+// tail.
+func OpenWAL(path string, apply func(payload []byte) error) (*WAL, WALReplay, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, WALReplay{}, fmt.Errorf("persist: opening WAL %s: %w", path, err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, WALReplay{}, fmt.Errorf("persist: reading WAL %s: %w", path, err)
+	}
+	rep, err := replayWAL(data, apply)
+	if err != nil {
+		f.Close()
+		return nil, rep, err
+	}
+	if rep.Truncated {
+		if err := f.Truncate(rep.ValidBytes); err != nil {
+			f.Close()
+			return nil, rep, fmt.Errorf("persist: dropping torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, rep, fmt.Errorf("persist: syncing truncated %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(rep.ValidBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, rep, fmt.Errorf("persist: seeking WAL %s: %w", path, err)
+	}
+	return &WAL{f: f, path: path, size: rep.ValidBytes}, rep, nil
+}
+
+// Append commits one record: frame, write, fsync. When Append returns
+// nil the record will survive a crash. On a write error the torn frame
+// is cut back off so later appends stay replayable.
+func (w *WAL) Append(payload []byte) error {
+	if len(payload) > MaxWALRecord {
+		return fmt.Errorf("persist: WAL record of %d bytes exceeds limit %d", len(payload), MaxWALRecord)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = AppendWALRecord(w.buf[:0], payload)
+	if _, err := w.f.Write(w.buf); err != nil {
+		// Best effort: drop the partial frame so the log stays appendable;
+		// if even that fails the next OpenWAL will truncate it.
+		if w.f.Truncate(w.size) == nil {
+			_, _ = w.f.Seek(w.size, io.SeekStart)
+		}
+		return fmt.Errorf("persist: appending to WAL %s: %w", w.path, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing WAL %s: %w", w.path, err)
+	}
+	w.size += int64(len(w.buf))
+	return nil
+}
+
+// Size returns the bytes of committed records in the log.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Reset empties the log — called after its contents have been folded
+// into a snapshot (compaction).
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("persist: resetting WAL %s: %w", w.path, err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("persist: rewinding WAL %s: %w", w.path, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing reset WAL %s: %w", w.path, err)
+	}
+	w.size = 0
+	return nil
+}
+
+// Close releases the underlying file. The log is not usable afterwards.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

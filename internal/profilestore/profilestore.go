@@ -29,6 +29,7 @@ import (
 
 	"biasmit/internal/core"
 	"biasmit/internal/orchestrate"
+	"biasmit/internal/persist"
 )
 
 // Key identifies one cached profile: a machine name, the width of the
@@ -59,6 +60,48 @@ type Profile struct {
 // key at a time; the store fills in Key and LearnedAt if left zero.
 type CharacterizeFunc func(ctx context.Context, key Key) (*Profile, error)
 
+// Journal records profile mutations durably. The store calls Put before
+// a profile becomes visible to readers (write-ahead) and Delete after an
+// eviction or invalidation. A Journal error never fails the serving
+// path — the in-memory store stays correct and the error is counted in
+// Stats.JournalErrors — because losing durability is strictly better
+// than losing availability for a cache that can re-learn its contents.
+type Journal interface {
+	Put(rec persist.ProfileRecord) error
+	Delete(key Key) error
+}
+
+// RecordOf converts a profile to its on-disk record form — the shared
+// serialization (persist.ProfileRecord) that the WAL, snapshots, and
+// the characterize CLI all speak.
+func RecordOf(p *Profile) persist.ProfileRecord {
+	return persist.ProfileRecord{
+		Machine:   p.Key.Machine,
+		Method:    p.Key.Method,
+		Width:     p.RBMS.Width,
+		Layout:    p.Layout,
+		Shots:     p.Shots,
+		LearnedAt: p.LearnedAt,
+		Strength:  p.RBMS.Strength,
+	}
+}
+
+// FromRecord reconstructs (and validates) a profile from its on-disk
+// record form.
+func FromRecord(rec persist.ProfileRecord) (*Profile, error) {
+	rbms, err := rec.RBMS()
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{
+		Key:       Key{Machine: rec.Machine, Width: rec.Width, Method: rec.Method},
+		RBMS:      rbms,
+		Layout:    rec.Layout,
+		Shots:     rec.Shots,
+		LearnedAt: rec.LearnedAt,
+	}, nil
+}
+
 // DefaultTTL is the freshness window when Options.TTL is zero — a
 // conservative stand-in for the device's calibration cycle.
 const DefaultTTL = 30 * time.Minute
@@ -75,6 +118,13 @@ type Options struct {
 	// RefreshWorkers bounds how many keys one Refresh pass re-learns
 	// concurrently (orchestrate.Map semantics; zero selects all CPUs).
 	RefreshWorkers int
+	// MaxProfiles bounds how many profiles the store keeps; inserting
+	// past the bound evicts the least-recently-used entry. Zero means
+	// unbounded.
+	MaxProfiles int
+	// Journal, when non-nil, records every insert/refresh/eviction
+	// durably (see the Journal interface for the error contract).
+	Journal Journal
 	// Now overrides the clock, for tests.
 	Now func() time.Time
 }
@@ -92,7 +142,12 @@ type Stats struct {
 	Refreshes          uint64
 	RefreshErrors      uint64
 	DegradedServes     uint64
-	Entries            int
+	// Evictions counts profiles dropped by the MaxProfiles LRU bound;
+	// JournalErrors counts journal writes that failed (the in-memory
+	// store kept serving).
+	Evictions     uint64
+	JournalErrors uint64
+	Entries       int
 }
 
 // call is one in-flight characterization; done is closed when profile
@@ -109,11 +164,15 @@ type Store struct {
 	ttl            time.Duration
 	refreshAfter   time.Duration
 	refreshWorkers int
+	maxProfiles    int
+	journal        Journal
 	now            func() time.Time
 
 	mu       sync.Mutex
 	profiles map[Key]*Profile
 	inflight map[Key]*call
+	useSeq   uint64         // monotonic LRU clock
+	lastUse  map[Key]uint64 // useSeq at last hit/publication
 	stats    Stats
 }
 
@@ -133,9 +192,12 @@ func New(characterize CharacterizeFunc, opt Options) *Store {
 		ttl:            opt.TTL,
 		refreshAfter:   opt.RefreshAfter,
 		refreshWorkers: opt.RefreshWorkers,
+		maxProfiles:    opt.MaxProfiles,
+		journal:        opt.Journal,
 		now:            opt.Now,
 		profiles:       make(map[Key]*Profile),
 		inflight:       make(map[Key]*call),
+		lastUse:        make(map[Key]uint64),
 	}
 }
 
@@ -163,6 +225,7 @@ func (s *Store) Get(key Key) (*Profile, bool) {
 		return nil, false
 	}
 	s.stats.Hits++
+	s.touchLocked(key)
 	return p, true
 }
 
@@ -176,6 +239,7 @@ func (s *Store) GetOrCharacterize(ctx context.Context, key Key) (*Profile, bool,
 	s.mu.Lock()
 	if p := s.profiles[key]; p != nil && s.now().Sub(p.LearnedAt) < s.ttl {
 		s.stats.Hits++
+		s.touchLocked(key)
 		s.mu.Unlock()
 		return p, true, nil
 	} else if p == nil {
@@ -224,6 +288,7 @@ func (s *Store) Serve(ctx context.Context, key Key) (*Profile, ServeResult, erro
 	stale := s.profiles[key]
 	if stale != nil {
 		s.stats.DegradedServes++
+		s.touchLocked(key)
 	}
 	s.mu.Unlock()
 	if stale != nil {
@@ -261,14 +326,16 @@ func (s *Store) beginLocked(key Key) *call {
 }
 
 // run executes the characterization as the call's leader and publishes
-// the outcome. On success the finished profile is swapped into the cache
-// under the lock — readers only ever see the old pointer or the complete
-// new one. On failure any previously cached profile is left untouched.
+// the outcome. On success the finished profile is journaled (write-ahead)
+// and then swapped into the cache under the lock — readers only ever see
+// the old pointer or the complete new one. On failure any previously
+// cached profile is left untouched.
 func (s *Store) run(ctx context.Context, key Key, c *call, refresh bool) {
 	p, err := s.characterize(ctx, key)
 	if err == nil && p == nil {
 		err = fmt.Errorf("profilestore: characterize returned no profile for %s", key)
 	}
+	var jerr error
 	if err == nil {
 		q := *p // publish a copy so the CharacterizeFunc can't mutate it later
 		q.Key = key
@@ -276,13 +343,24 @@ func (s *Store) run(ctx context.Context, key Key, c *call, refresh bool) {
 			q.LearnedAt = s.now()
 		}
 		p = &q
+		if s.journal != nil {
+			// Durability before visibility: the record hits the journal
+			// (and its fsync) before any reader can observe the profile, so
+			// a crash can never lose a profile a caller was already told
+			// about. A journal failure is counted, not fatal — see Journal.
+			jerr = s.journal.Put(RecordOf(p))
+		}
 	}
+	var evicted []Key
 	s.mu.Lock()
 	delete(s.inflight, key)
 	switch {
 	case err == nil:
-		s.profiles[key] = p
+		evicted = s.publishLocked(p)
 		c.profile = p
+		if jerr != nil {
+			s.stats.JournalErrors++
+		}
 		if refresh {
 			s.stats.Refreshes++
 		} else {
@@ -296,6 +374,134 @@ func (s *Store) run(ctx context.Context, key Key, c *call, refresh bool) {
 	c.err = err
 	s.mu.Unlock()
 	close(c.done)
+	s.journalDeletes(evicted)
+}
+
+// touchLocked stamps key as most recently used. Caller holds s.mu.
+func (s *Store) touchLocked(key Key) {
+	s.useSeq++
+	s.lastUse[key] = s.useSeq
+}
+
+// publishLocked installs p under its key, stamps recency, and enforces
+// the MaxProfiles bound, returning the keys it evicted. The caller
+// journals the deletions after releasing s.mu; a crash in between
+// merely leaves extra profiles in the journal, which the bound trims
+// again on the next boot.
+func (s *Store) publishLocked(p *Profile) []Key {
+	s.profiles[p.Key] = p
+	s.touchLocked(p.Key)
+	var evicted []Key
+	for s.maxProfiles > 0 && len(s.profiles) > s.maxProfiles {
+		victim, ok := s.lruVictimLocked(p.Key)
+		if !ok {
+			break
+		}
+		delete(s.profiles, victim)
+		delete(s.lastUse, victim)
+		s.stats.Evictions++
+		evicted = append(evicted, victim)
+	}
+	return evicted
+}
+
+// lruVictimLocked picks the least-recently-used cached key other than
+// keep (the entry that just came in is never its own victim).
+func (s *Store) lruVictimLocked(keep Key) (Key, bool) {
+	var victim Key
+	found := false
+	var oldest uint64
+	for key := range s.profiles {
+		if key == keep {
+			continue
+		}
+		use := s.lastUse[key] // absent ⇒ 0 ⇒ oldest possible
+		if !found || use < oldest {
+			victim, oldest, found = key, use, true
+		}
+	}
+	return victim, found
+}
+
+// journalDeletes records evicted/invalidated keys in the journal,
+// counting (not surfacing) failures.
+func (s *Store) journalDeletes(keys []Key) {
+	if s.journal == nil || len(keys) == 0 {
+		return
+	}
+	failed := 0
+	for _, key := range keys {
+		if s.journal.Delete(key) != nil {
+			failed++
+		}
+	}
+	if failed > 0 {
+		s.mu.Lock()
+		s.stats.JournalErrors += uint64(failed)
+		s.mu.Unlock()
+	}
+}
+
+// Load seeds the store with already-durable profiles (crash recovery)
+// without journaling them again. Profiles are installed oldest first so
+// LRU recency mirrors learning order; if they exceed MaxProfiles the
+// excess is evicted (and those deletions are journaled). Returns how
+// many profiles were installed before eviction.
+func (s *Store) Load(profiles []*Profile) int {
+	sorted := make([]*Profile, 0, len(profiles))
+	for _, p := range profiles {
+		if p != nil {
+			sorted = append(sorted, p)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if !sorted[i].LearnedAt.Equal(sorted[j].LearnedAt) {
+			return sorted[i].LearnedAt.Before(sorted[j].LearnedAt)
+		}
+		return sorted[i].Key.String() < sorted[j].Key.String()
+	})
+	var evicted []Key
+	s.mu.Lock()
+	for _, p := range sorted {
+		evicted = append(evicted, s.publishLocked(p)...)
+	}
+	s.mu.Unlock()
+	s.journalDeletes(evicted)
+	return len(sorted)
+}
+
+// Import journals and publishes an externally learned profile — e.g. a
+// file written by `characterize -out` preloaded at boot. The profile
+// must carry a usable Key (Machine and Method; a zero Width is filled
+// from the RBMS); a zero LearnedAt becomes now. The returned error is
+// the journal's, if any — the profile is serving in memory either way.
+func (s *Store) Import(p *Profile) error {
+	if p == nil {
+		return fmt.Errorf("profilestore: nil profile")
+	}
+	q := *p
+	if q.Key.Width == 0 {
+		q.Key.Width = q.RBMS.Width
+	}
+	if q.Key.Machine == "" || q.Key.Method == "" || q.Key.Width != q.RBMS.Width {
+		return fmt.Errorf("profilestore: profile has unusable key %s (RBMS width %d)", q.Key, q.RBMS.Width)
+	}
+	if q.LearnedAt.IsZero() {
+		q.LearnedAt = s.now()
+	}
+	var jerr error
+	if s.journal != nil {
+		jerr = s.journal.Put(RecordOf(&q))
+	}
+	var evicted []Key
+	s.mu.Lock()
+	evicted = s.publishLocked(&q)
+	if jerr != nil {
+		s.stats.JournalErrors++
+	}
+	s.mu.Unlock()
+	s.journalDeletes(evicted)
+	return jerr
 }
 
 // Refresh re-learns every cached profile older than RefreshAfter, at
@@ -353,12 +559,18 @@ func (s *Store) RefreshLoop(ctx context.Context, interval time.Duration) {
 	}
 }
 
-// Invalidate drops the cached profile for key, if any. An in-flight
-// characterization is unaffected and will re-publish when it completes.
+// Invalidate drops the cached profile for key, if any, journaling the
+// deletion. An in-flight characterization is unaffected and will
+// re-publish when it completes.
 func (s *Store) Invalidate(key Key) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	_, had := s.profiles[key]
 	delete(s.profiles, key)
+	delete(s.lastUse, key)
+	s.mu.Unlock()
+	if had {
+		s.journalDeletes([]Key{key})
+	}
 }
 
 // Profiles returns a snapshot of every cached profile, sorted by key.

@@ -111,9 +111,10 @@ func breakerStateValue(state string) int {
 }
 
 // write renders the registry plus the profile-cache stats, the resilient
-// executor counters, and the per-machine breaker snapshots in the
-// Prometheus text exposition format.
-func (m *metricsRegistry) write(w io.Writer, cache profilestore.Stats, runs resilient.MetricsSnapshot, breakers []breakerInfo) {
+// executor counters, the per-machine breaker snapshots, and — when the
+// store is durable — the persistence counters and recovery gauges, in
+// the Prometheus text exposition format.
+func (m *metricsRegistry) write(w io.Writer, cache profilestore.Stats, runs resilient.MetricsSnapshot, breakers []breakerInfo, persist *profilestore.DiskLogStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -163,9 +164,36 @@ func (m *metricsRegistry) write(w io.Writer, cache profilestore.Stats, runs resi
 	counter("biasmitd_profile_refreshes_total", "Background profile refreshes completed.", cache.Refreshes)
 	counter("biasmitd_profile_refresh_errors_total", "Background profile refreshes failed.", cache.RefreshErrors)
 	counter("biasmitd_profile_degraded_serves_total", "Stale profiles served because re-characterization failed.", cache.DegradedServes)
+	counter("biasmitd_profile_evictions_total", "Profiles dropped by the max-profiles LRU bound.", cache.Evictions)
+	counter("biasmitd_profile_journal_errors_total", "Journal writes that failed (the in-memory cache kept serving).", cache.JournalErrors)
 	fmt.Fprintln(w, "# HELP biasmitd_profile_cache_entries Profiles currently cached.")
 	fmt.Fprintln(w, "# TYPE biasmitd_profile_cache_entries gauge")
 	fmt.Fprintf(w, "biasmitd_profile_cache_entries %d\n", cache.Entries)
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	if persist == nil {
+		gauge("biasmitd_persistence_enabled", "1 when the profile store journals to disk, 0 for memory-only.", 0)
+	} else {
+		gauge("biasmitd_persistence_enabled", "1 when the profile store journals to disk, 0 for memory-only.", 1)
+		gauge("biasmitd_profiles_restored", "Profiles reconstructed from snapshot+WAL at the last boot.", int64(persist.Recovery.Profiles))
+		gauge("biasmitd_recovery_snapshot_profiles", "Profiles the boot-time snapshot held.", int64(persist.Recovery.SnapshotProfiles))
+		gauge("biasmitd_recovery_wal_records", "Intact WAL records replayed at the last boot.", int64(persist.Recovery.WALRecords))
+		gauge("biasmitd_recovery_wal_skipped", "Replayed WAL records already folded into the snapshot.", int64(persist.Recovery.WALSkipped))
+		gauge("biasmitd_recovery_invalid_records", "Recovered records dropped by validation.", int64(persist.Recovery.Invalid))
+		tail := int64(0)
+		if persist.Recovery.TailTruncated {
+			tail = 1
+		}
+		gauge("biasmitd_recovery_wal_tail_truncated", "1 when the last boot dropped a torn WAL tail (crash mid-append).", tail)
+		counter("biasmitd_wal_appends_total", "Journal entries committed (written and fsynced).", persist.WALAppends)
+		counter("biasmitd_wal_append_errors_total", "Journal entries that failed to commit.", persist.WALAppendErrors)
+		gauge("biasmitd_wal_size_bytes", "Committed bytes currently in the WAL.", persist.WALSizeBytes)
+		counter("biasmitd_snapshots_total", "Snapshot compactions completed.", persist.Snapshots)
+		counter("biasmitd_snapshot_errors_total", "Snapshot compactions failed.", persist.SnapshotErrors)
+		gauge("biasmitd_journal_live_records", "Profiles in the durable journal (mirror of the cache gauge).", int64(persist.LiveRecords))
+	}
 
 	counter("biasmitd_backend_runs_total", "Backend runs started (past the breaker).", runs.Runs)
 	counter("biasmitd_backend_attempts_total", "Dispatch passes over a run's pending slices.", runs.Attempts)

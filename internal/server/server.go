@@ -72,6 +72,16 @@ type Config struct {
 	// ProfileTTL is how long cached profiles stay fresh (default
 	// profilestore.DefaultTTL).
 	ProfileTTL time.Duration
+	// Persist, when non-nil, makes the profile store durable: every
+	// insert/refresh/eviction is journaled through it (WAL + snapshots)
+	// and its recovered profiles are loaded into the store at
+	// construction, so a restarted daemon serves warm. The caller owns
+	// the log's lifecycle (compaction loop, Close).
+	Persist *profilestore.DiskLog
+	// MaxProfiles bounds the profile cache; past it the least recently
+	// used profile is evicted (and the eviction journaled). Zero means
+	// unbounded.
+	MaxProfiles int
 	// Seed is the base seed for characterization runs (default 1); the
 	// per-key seed is derived from it so profiles are reproducible.
 	Seed int64
@@ -180,11 +190,22 @@ func New(cfg Config) *Server {
 		runMetrics: &resilient.Metrics{},
 		execs:      make(map[string]*machineExec),
 	}
-	s.store = profilestore.New(s.characterizeKey, profilestore.Options{
+	opts := profilestore.Options{
 		TTL:            cfg.ProfileTTL,
 		RefreshWorkers: 1, // one characterization at a time in the background
+		MaxProfiles:    cfg.MaxProfiles,
 		Now:            cfg.Now,
-	})
+	}
+	if cfg.Persist != nil {
+		opts.Journal = cfg.Persist
+	}
+	s.store = profilestore.New(s.characterizeKey, opts)
+	if cfg.Persist != nil {
+		// Warm restart: profiles recovered from snapshot+WAL serve
+		// immediately, with their original LearnedAt (staleness carries
+		// across the restart — an old profile on disk is still old).
+		s.store.Load(cfg.Persist.RecoveredProfiles())
+	}
 	s.mux.HandleFunc("/v1/mitigate", s.instrument("/v1/mitigate", s.handleMitigate))
 	s.mux.HandleFunc("/v1/characterize", s.instrument("/v1/characterize", s.handleCharacterize))
 	s.mux.HandleFunc("/v1/profiles", s.instrument("/v1/profiles", s.handleProfiles))
@@ -761,7 +782,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.reg.write(w, s.store.StatsSnapshot(), s.runMetrics.Snapshot(), s.breakerInfos())
+	var persistStats *profilestore.DiskLogStats
+	if s.cfg.Persist != nil {
+		st := s.cfg.Persist.Stats()
+		persistStats = &st
+	}
+	s.reg.write(w, s.store.StatsSnapshot(), s.runMetrics.Snapshot(), s.breakerInfos(), persistStats)
 }
 
 // breakerInfos snapshots every machine's breaker for /metrics, in a

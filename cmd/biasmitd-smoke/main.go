@@ -5,7 +5,7 @@
 // real Go callers use, and a contract break fails to compile instead of
 // failing to grep.
 //
-// Three scenarios, selected with -scenario:
+// Four scenarios, selected with -scenario:
 //
 //	serve    health, an AIM profile-cache miss/hit pair, a typed
 //	         over-budget rejection, and the /metrics counters that prove
@@ -24,6 +24,13 @@
 //	         and asserts the profiles serve warm — original learned_at,
 //	         zero re-characterizations, byte-identical mitigation
 //	         output — before stopping the second daemon gracefully.
+//	jobs     async-queue crash round-trip. Also owns the daemon
+//	         (-daemon, -jobs-dir): submits jobs through POST /v1/jobs,
+//	         requires a job's result byte-identical to the synchronous
+//	         endpoint, cancels a queued job, SIGKILLs the daemon with a
+//	         job mid-run, restarts from the same -jobs-dir, and asserts
+//	         every job reaches exactly one terminal state — the
+//	         interrupted job re-queued and deterministically re-executed.
 //
 // Exits 0 when every assertion holds, 1 with a message otherwise.
 package main
@@ -45,9 +52,10 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "daemon address (host:port or URL; serve/breaker scenarios)")
-	scenario := flag.String("scenario", "serve", "round-trip to run: serve, breaker, or recover")
+	scenario := flag.String("scenario", "serve", "round-trip to run: serve, breaker, recover, or jobs")
 	daemonBin := flag.String("daemon", "", "path to the biasmitd binary (recover scenario)")
 	dataDir := flag.String("data-dir", "", "durable store directory handed to the daemon (recover scenario)")
+	jobsDir := flag.String("jobs-dir", "", "durable job-queue directory handed to the daemon (jobs scenario)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
 	flag.Parse()
 	log.SetFlags(0)
@@ -64,6 +72,8 @@ func main() {
 		err = breakerScenario(ctx, client.New(*addr))
 	case "recover":
 		err = recoverScenario(ctx, *daemonBin, *dataDir)
+	case "jobs":
+		err = jobsScenario(ctx, *daemonBin, *jobsDir)
 	default:
 		err = fmt.Errorf("unknown scenario %q", *scenario)
 	}

@@ -13,6 +13,11 @@
 //	curl -s -X POST localhost:8642/v1/mitigate \
 //	  -d '{"machine":"ibmqx4","policy":"aim","benchmark":"bv-4A","shots":8192}'
 //
+// With -jobs-dir the async job queue (POST /v1/jobs) is durable too:
+// every job state transition is journaled the same way, and a restarted
+// daemon re-queues jobs that were caught mid-run — same seed, same
+// bytes, exactly one terminal state per job.
+//
 // With -data-dir the profile store is durable: every learned profile is
 // journaled to a checksummed WAL (fsync-on-commit) and periodically
 // compacted into a snapshot, and a restarted daemon — even after kill
@@ -39,6 +44,7 @@ import (
 	"time"
 
 	"biasmit/internal/chaos"
+	"biasmit/internal/jobs"
 	"biasmit/internal/persist"
 	"biasmit/internal/profilestore"
 	"biasmit/internal/server"
@@ -68,6 +74,10 @@ func main() {
 	sliceShots := flag.Int("slice-shots", 0, "partial-shot salvage granularity: split runs into independently seeded slices of this many trials (0 = no slicing)")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failed runs that open a machine's circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker rejects work before probing again")
+	jobsDir := flag.String("jobs-dir", "", "durable async job-queue directory (WAL + snapshots; empty = memory-only)")
+	jobWorkers := flag.Int("job-workers", 2, "concurrently executing async job batches")
+	batchWindow := flag.Duration("batch-window", 25*time.Millisecond, "how long a batchable async job waits for compatible jobs to coalesce (0 = no waiting)")
+	tenantQuota := flag.Int("tenant-quota", 64, "queued+running async jobs allowed per tenant (0 = unbounded)")
 	chaosPlan := chaos.Flags(flag.CommandLine)
 	flag.Parse()
 	if err := chaosPlan.Validate(); err != nil {
@@ -90,6 +100,19 @@ func main() {
 			map[bool]string{true: ", torn tail dropped", false: ""}[rec.TailTruncated])
 	}
 
+	var jlog *jobs.Log
+	if *jobsDir != "" {
+		var err error
+		jlog, err = jobs.OpenLog(*jobsDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec := jlog.Recovery()
+		log.Printf("recovered %d jobs from %s (snapshot %d, WAL %d replayed / %d skipped%s)",
+			rec.Jobs, *jobsDir, rec.SnapshotJobs, rec.WALRecords, rec.WALSkipped,
+			map[bool]string{true: ", torn tail dropped", false: ""}[rec.TailTruncated])
+	}
+
 	srv := server.New(server.Config{
 		Workers:          *workers,
 		MaxJobs:          *maxJobs,
@@ -107,7 +130,14 @@ func main() {
 		BreakerCooldown:  *breakerCooldown,
 		Persist:          dlog,
 		MaxProfiles:      *maxProfiles,
+		JobsLog:          jlog,
+		JobWorkers:       *jobWorkers,
+		JobBatchWindow:   *batchWindow,
+		JobQuota:         *tenantQuota,
 	})
+	if st := srv.JobStats(); st.RecoveredJobs > 0 {
+		log.Printf("requeued %d of %d recovered jobs interrupted mid-run", st.RecoveredRequeued, st.RecoveredJobs)
+	}
 	if *preload != "" {
 		for _, path := range strings.Split(*preload, ",") {
 			path = strings.TrimSpace(path)
@@ -149,14 +179,30 @@ func main() {
 	log.Printf("draining in-flight requests (up to %s)", *drainTimeout)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	drainJobs := func() {
+		// Queued jobs are checkpointed; running jobs finish within the
+		// remaining drain budget or are cancelled and journaled back to
+		// queued, so the next boot re-executes them deterministically.
+		res := srv.DrainJobs(shutdownCtx)
+		if res.Finished > 0 || res.Requeued > 0 {
+			log.Printf("job queue drained: %d finished, %d requeued for next boot", res.Finished, res.Requeued)
+		}
+		if jlog != nil {
+			if err := jlog.Close(); err != nil {
+				log.Printf("closing job journal: %v", err)
+			}
+		}
+	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("drain incomplete: %v", err)
 		_ = httpSrv.Close()
+		drainJobs()
 		if dlog != nil {
 			_ = dlog.Close()
 		}
 		os.Exit(1)
 	}
+	drainJobs()
 	if dlog != nil {
 		// Final compaction: a clean shutdown leaves a fresh snapshot and
 		// an empty WAL, so the next boot replays nothing.

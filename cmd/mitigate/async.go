@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"biasmit/internal/api"
+	"biasmit/internal/client"
+	"biasmit/internal/report"
+)
+
+// asyncConfig is the subset of the CLI flags the remote run needs.
+type asyncConfig struct {
+	server  string
+	apiKey  string
+	machine string
+	bench   string
+	shots   int
+	seed    int64
+	modes   int
+	canary  float64
+	k       int
+}
+
+// runAsync reproduces the local three-policy comparison through a
+// biasmitd daemon's job queue: one job per policy, seeded exactly like
+// the local run (baseline seed+1, SIM seed+2, AIM seed+4), so baseline
+// and SIM match the local path bit for bit. AIM runs against the
+// daemon's cached RBMS profile — its provenance (profile seed and
+// budget) is the daemon's, not this process's. Jobs are submitted
+// together and awaited together, so the daemon can coalesce the AIM
+// job's profile fetch with any compatible work.
+func runAsync(ctx context.Context, cfg asyncConfig) error {
+	cl := client.New(cfg.server, client.WithAPIKey(cfg.apiKey))
+
+	submit := func(req *api.MitigateRequest) (string, error) {
+		resp, err := cl.SubmitJob(ctx, &api.JobSubmitRequest{
+			Type:     api.JobTypeMitigate,
+			Mitigate: req,
+		})
+		if err != nil {
+			return "", fmt.Errorf("submitting %s job: %w", req.Policy, err)
+		}
+		return resp.Job.ID, nil
+	}
+
+	specs := []*api.MitigateRequest{
+		{Machine: cfg.machine, Policy: "baseline", Benchmark: cfg.bench, Shots: cfg.shots, Seed: cfg.seed + 1},
+		{Machine: cfg.machine, Policy: "sim", Benchmark: cfg.bench, Shots: cfg.shots, Seed: cfg.seed + 2, Modes: cfg.modes},
+		{Machine: cfg.machine, Policy: "aim", Benchmark: cfg.bench, Shots: cfg.shots, Seed: cfg.seed + 4, CanaryFraction: cfg.canary, K: cfg.k},
+	}
+	ids := make([]string, len(specs))
+	for i, req := range specs {
+		id, err := submit(req)
+		if err != nil {
+			return err
+		}
+		ids[i] = id
+		fmt.Printf("queued %s job %s\n", req.Policy, id)
+	}
+
+	results := make([]*api.MitigateResponse, len(ids))
+	start := time.Now()
+	for i, id := range ids {
+		jr, err := cl.WaitJob(ctx, id)
+		if err != nil {
+			return fmt.Errorf("waiting for %s job %s: %w", specs[i].Policy, id, err)
+		}
+		if jr.Job.State != api.JobStateDone {
+			if jr.Job.Error != nil {
+				return fmt.Errorf("%s job %s %s: %s (%s)",
+					specs[i].Policy, id, jr.Job.State, jr.Job.Error.Message, jr.Job.Error.Code)
+			}
+			return fmt.Errorf("%s job %s ended %s", specs[i].Policy, id, jr.Job.State)
+		}
+		out := new(api.MitigateResponse)
+		if err := json.Unmarshal(jr.Result, out); err != nil {
+			return fmt.Errorf("decoding %s job %s result: %w", specs[i].Policy, id, err)
+		}
+		results[i] = out
+	}
+	fmt.Printf("\n%s on %s: %d trials/policy via %s (%.1fs)\n\n",
+		results[0].Benchmark, results[0].Machine, cfg.shots, cfg.server, time.Since(start).Seconds())
+
+	row := func(name string, resp *api.MitigateResponse) []string {
+		if resp.Metrics == nil {
+			return []string{name, "-", "-", "-"}
+		}
+		return []string{
+			name,
+			report.Pct(resp.Metrics.PST),
+			report.F(resp.Metrics.IST),
+			fmt.Sprint(resp.Metrics.ROCA),
+		}
+	}
+	fmt.Fprint(os.Stdout, report.Table(
+		[]string{"policy", "PST", "IST", "ROCA"},
+		[][]string{
+			row("baseline", results[0]),
+			row(fmt.Sprintf("SIM (%d modes)", cfg.modes), results[1]),
+			row("AIM", results[2]),
+		},
+	))
+	aim := results[2]
+	if len(aim.Correct) > 0 {
+		fmt.Printf("\ncorrect output(s): %v\n", aim.Correct)
+	}
+	if aim.Strongest != "" {
+		fmt.Printf("machine's strongest state: %v; AIM candidates:\n", aim.Strongest)
+		for _, c := range aim.Candidates {
+			fmt.Printf("  output %v  likelihood %.3f  inversion %v\n", c.Output, c.Likelihood, c.Inversion)
+		}
+	}
+	return nil
+}

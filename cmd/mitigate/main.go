@@ -6,6 +6,13 @@
 //
 //	mitigate -machine ibmqx4 -bench bv-4A -shots 32000
 //	mitigate -machine ibmq-melbourne -bench qaoa-6 -shots 32000 -modes 2
+//
+// With -async -server the same comparison runs remotely through a
+// biasmitd daemon's job queue: one job per policy is submitted to
+// POST /v1/jobs (seeded exactly like the local run), awaited, and the
+// same metrics table is printed from the jobs' results.
+//
+//	mitigate -async -server 127.0.0.1:8642 -machine ibmqx4 -bench bv-4A -shots 32000
 package main
 
 import (
@@ -45,6 +52,9 @@ func main() {
 	profileFile := flag.String("profile", "", "load a saved RBMS profile (from characterize -out) instead of profiling")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential; results are identical either way)")
 	timeout := flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
+	async := flag.Bool("async", false, "run through a biasmitd daemon's async job queue instead of locally (needs -server)")
+	serverAddr := flag.String("server", "", "biasmitd address for -async, e.g. 127.0.0.1:8642")
+	apiKey := flag.String("api-key", "", "X-API-Key tenant identity for -async submissions")
 	chaosPlan := chaos.Flags(flag.CommandLine)
 	retry := resilient.Flags(flag.CommandLine)
 	flag.Parse()
@@ -58,6 +68,20 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *async {
+		if *serverAddr == "" {
+			log.Fatal("-async needs -server <addr>")
+		}
+		if err := runAsync(ctx, asyncConfig{
+			server: *serverAddr, apiKey: *apiKey,
+			machine: *machineName, bench: *benchName,
+			shots: *shots, seed: *seed, modes: *modes, canary: *canary, k: *k,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	dev, ok := device.ByName(*machineName)

@@ -11,6 +11,7 @@
 package api
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 )
@@ -48,6 +49,19 @@ const (
 	// CodeCanceled marks a request whose context was canceled (usually a
 	// client disconnect or server drain).
 	CodeCanceled = "canceled"
+	// CodeBodyTooLarge marks a request body over the server's byte cap;
+	// the request was rejected before any of it was processed (HTTP 413).
+	CodeBodyTooLarge = "body_too_large"
+	// CodeJobNotFound marks a job ID the queue does not know — never
+	// issued, or already evicted from the terminal-job retention window.
+	CodeJobNotFound = "job_not_found"
+	// CodeQuotaExceeded marks a job submission rejected by the tenant's
+	// admission quota: too many of the tenant's jobs are already queued
+	// or running (HTTP 429). Wait for some to finish and resubmit.
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeJobTerminal marks a cancel of a job already in a terminal
+	// state (done, failed, or cancelled) — there is nothing to stop.
+	CodeJobTerminal = "job_terminal"
 	// CodeMethodNotAllowed marks a wrong HTTP method on a known route.
 	CodeMethodNotAllowed = "method_not_allowed"
 	// CodeNotFound marks an unknown route.
@@ -242,6 +256,92 @@ type HealthMachine struct {
 	Machine      string `json:"machine"`
 	Breaker      string `json:"breaker"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// Job types accepted by POST /v1/jobs.
+const (
+	JobTypeMitigate     = "mitigate"
+	JobTypeCharacterize = "characterize"
+)
+
+// Job lifecycle states. A job moves queued → running → one of the three
+// terminal states; a crash or drain can move it running → queued again
+// (counted in JobInfo.Requeues) before it reaches a terminal state
+// exactly once.
+const (
+	JobStateQueued    = "queued"
+	JobStateRunning   = "running"
+	JobStateDone      = "done"
+	JobStateFailed    = "failed"
+	JobStateCancelled = "cancelled"
+)
+
+// JobSubmitRequest is the body of POST /v1/jobs: exactly one of Mitigate
+// or Characterize, matching Type. The submitting tenant is taken from
+// the X-API-Key header ("anon" when absent), never from the body.
+type JobSubmitRequest struct {
+	// Type selects the job kind: "mitigate" or "characterize".
+	Type string `json:"type"`
+	// Mitigate is the work of a mitigate job — the same body a
+	// synchronous POST /v1/mitigate takes, executed identically (same
+	// seed ⇒ byte-identical outcomes).
+	Mitigate *MitigateRequest `json:"mitigate,omitempty"`
+	// Characterize is the work of a characterize job.
+	Characterize *CharacterizeRequest `json:"characterize,omitempty"`
+	// Priority is the scheduling class: higher runs first within the
+	// tenant's share. Zero is the normal class.
+	Priority int `json:"priority,omitempty"`
+	// MaxAttempts bounds execution attempts when the run fails
+	// transiently (upstream_transient, breaker_open): the scheduler
+	// requeues and retries up to this many attempts total. Zero or one
+	// disables job-level retries (the per-run retry budget inside the
+	// executor still applies).
+	MaxAttempts int `json:"max_attempts,omitempty"`
+}
+
+// JobInfo is the wire view of one queued/running/finished job.
+type JobInfo struct {
+	ID       string `json:"id"`
+	Type     string `json:"type"`
+	State    string `json:"state"`
+	Tenant   string `json:"tenant"`
+	Priority int    `json:"priority,omitempty"`
+	// SubmittedAt/StartedAt/FinishedAt trace the lifecycle; the latter
+	// two are unset until the job reaches the matching state.
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// Attempts counts executions started; Requeues counts times the job
+	// went back from running to queued (crash recovery, drain, retry).
+	Attempts int `json:"attempts,omitempty"`
+	Requeues int `json:"requeues,omitempty"`
+	// BatchSize is how many compatible jobs shared the micro-batch this
+	// job last ran in (1 = ran alone).
+	BatchSize int `json:"batch_size,omitempty"`
+	// CancelRequested is true once DELETE /v1/jobs/{id} has been
+	// accepted for a job that was already running; the job winds down to
+	// cancelled asynchronously.
+	CancelRequested bool `json:"cancel_requested,omitempty"`
+	// Error carries the failure of a failed job (stable code + message).
+	Error *Error `json:"error,omitempty"`
+}
+
+// JobResponse is the body of POST /v1/jobs (202), GET /v1/jobs/{id},
+// and DELETE /v1/jobs/{id}.
+type JobResponse struct {
+	Envelope
+	Job JobInfo `json:"job"`
+	// Result is the response body the equivalent synchronous call would
+	// have produced (a MitigateResponse or CharacterizeResponse), set
+	// once the job is done.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// JobListResponse is the body of GET /v1/jobs. Results are omitted;
+// fetch a job by ID for its result.
+type JobListResponse struct {
+	Envelope
+	Jobs []JobInfo `json:"jobs"`
 }
 
 // HealthResponse is the body of GET /healthz. Status is "ok" when every

@@ -37,6 +37,7 @@ import (
 type Client struct {
 	base           string
 	http           *http.Client
+	apiKey         string
 	breakerRetries int
 	retryCap       time.Duration
 }
@@ -49,6 +50,13 @@ type Option func(*Client)
 // use context deadlines per call.
 func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
+}
+
+// WithAPIKey sends key as the X-API-Key header on every request. The
+// daemon uses it as the tenant identity for async-job fairness and
+// quotas; requests without one share the "anon" tenant.
+func WithAPIKey(key string) Option {
+	return func(c *Client) { c.apiKey = key }
 }
 
 // WithBreakerRetries makes the client retry a request up to n times when
@@ -203,6 +211,9 @@ func (c *Client) once(ctx context.Context, method, path string, in, out any) err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

@@ -1,0 +1,94 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"time"
+
+	"biasmit/internal/api"
+)
+
+// SubmitJob runs POST /v1/jobs: enqueue a mitigation or
+// characterization for asynchronous execution. The returned job is
+// freshly queued; poll it with Job, or block with WaitJob.
+func (c *Client) SubmitJob(ctx context.Context, req *api.JobSubmitRequest) (*api.JobResponse, error) {
+	out := new(api.JobResponse)
+	if err := c.call(ctx, "POST", "/v1/jobs", req, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Job runs GET /v1/jobs/{id}. A positive wait long-polls: the server
+// holds the request up to that long for the job to reach a terminal
+// state, and returns its current state either way.
+func (c *Client) Job(ctx context.Context, id string, wait time.Duration) (*api.JobResponse, error) {
+	path := "/v1/jobs/" + url.PathEscape(id)
+	if wait > 0 {
+		path += "?wait=" + url.QueryEscape(wait.String())
+	}
+	out := new(api.JobResponse)
+	if err := c.call(ctx, "GET", path, nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Jobs runs GET /v1/jobs, filtered by state and tenant when non-empty.
+func (c *Client) Jobs(ctx context.Context, state, tenant string) (*api.JobListResponse, error) {
+	q := url.Values{}
+	if state != "" {
+		q.Set("state", state)
+	}
+	if tenant != "" {
+		q.Set("tenant", tenant)
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	out := new(api.JobListResponse)
+	if err := c.call(ctx, "GET", path, nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CancelJob runs DELETE /v1/jobs/{id}. Queued jobs are cancelled
+// immediately; running jobs wind down asynchronously (the returned
+// state may still be "running" with CancelRequested set).
+func (c *Client) CancelJob(ctx context.Context, id string) (*api.JobResponse, error) {
+	out := new(api.JobResponse)
+	if err := c.call(ctx, "DELETE", "/v1/jobs/"+url.PathEscape(id), nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// jobTerminal mirrors the server's terminal-state set.
+func jobTerminal(state string) bool {
+	return state == api.JobStateDone || state == api.JobStateFailed || state == api.JobStateCancelled
+}
+
+// WaitJob long-polls a job until it reaches a terminal state or ctx
+// ends, and returns its final snapshot (including the result for a done
+// job). A failed job still returns nil error — inspect Job.Error; the
+// error return reports transport or context problems only.
+func (c *Client) WaitJob(ctx context.Context, id string) (*api.JobResponse, error) {
+	const poll = 15 * time.Second
+	for {
+		resp, err := c.Job(ctx, id, poll)
+		if err != nil {
+			return nil, err
+		}
+		if jobTerminal(resp.Job.State) {
+			return resp, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("client: waiting for job %s: %w", id, ctx.Err())
+		default:
+		}
+	}
+}

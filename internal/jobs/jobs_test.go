@@ -1,0 +1,445 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches state st or the deadline ends.
+func waitState(t *testing.T, q *Queue, id string, st State) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := q.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if j.State == st {
+			return j
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	j, _ := q.Get(id)
+	t.Fatalf("job %s stuck in %s, want %s", id, j.State, st)
+	return Job{}
+}
+
+func TestIDOrderingAndValidation(t *testing.T) {
+	g := newIDGen(nil)
+	prev := ""
+	for i := 0; i < 10000; i++ {
+		id := g.Next()
+		if err := ValidID(id); err != nil {
+			t.Fatal(err)
+		}
+		if id <= prev {
+			t.Fatalf("ID %q does not sort after %q", id, prev)
+		}
+		prev = id
+	}
+	for _, bad := range []string{"", "short", "abcdefghijklmnopqrstuvwxyz", "0123456789ABCDEFGHJKMNPQRSI"} {
+		if err := ValidID(bad); err == nil {
+			t.Fatalf("ValidID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSubmitLifecycleDone(t *testing.T) {
+	q, err := NewQueue(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(q, SchedulerOptions{
+		Workers: 2,
+		Exec: func(ctx context.Context, j Job) (json.RawMessage, *Failure) {
+			return json.RawMessage(`{"echo":"` + j.Spec.Type + `"}`), nil
+		},
+	})
+	s.Start()
+	defer s.Drain(context.Background())
+
+	j, err := q.Submit(Spec{Type: "mitigate", Tenant: "t1", Payload: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateQueued || j.ID == "" {
+		t.Fatalf("submitted job = %+v", j)
+	}
+	ch, ok := q.Await(j.ID)
+	if !ok {
+		t.Fatal("Await: job not found")
+	}
+	select {
+	case <-ch:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never reached a terminal state")
+	}
+	got := waitState(t, q, j.ID, StateDone)
+	if string(got.Result) != `{"echo":"mitigate"}` {
+		t.Fatalf("result = %s", got.Result)
+	}
+	if got.Attempts != 1 || got.BatchSize != 1 {
+		t.Fatalf("attempts=%d batch=%d, want 1/1", got.Attempts, got.BatchSize)
+	}
+	st := q.Stats()
+	if st.Done != 1 || st.Transitions[StateDone] != 1 || st.Transitions[StateRunning] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFailureIsTerminal(t *testing.T) {
+	q, _ := NewQueue(Options{})
+	s := NewScheduler(q, SchedulerOptions{
+		Workers: 1,
+		Exec: func(context.Context, Job) (json.RawMessage, *Failure) {
+			return nil, &Failure{Code: "internal", Message: "boom", Status: 500}
+		},
+	})
+	s.Start()
+	defer s.Drain(context.Background())
+	j, _ := q.Submit(Spec{Type: "mitigate"})
+	got := waitState(t, q, j.ID, StateFailed)
+	if got.Failure == nil || got.Failure.Code != "internal" {
+		t.Fatalf("failure = %+v", got.Failure)
+	}
+	if got.Spec.Tenant != "anon" {
+		t.Fatalf("tenant defaulted to %q, want anon", got.Spec.Tenant)
+	}
+}
+
+func TestCancelQueuedImmediate(t *testing.T) {
+	q, _ := NewQueue(Options{}) // no scheduler: the job stays queued
+	j, _ := q.Submit(Spec{Type: "mitigate"})
+	got, err := q.Cancel(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", got.State)
+	}
+	if _, err := q.Cancel(j.ID); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("second cancel err = %v, want ErrTerminal", err)
+	}
+	if _, err := q.Cancel("00000000000000000000000000"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown cancel err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCancelRunningPropagatesContext(t *testing.T) {
+	started := make(chan struct{})
+	q, _ := NewQueue(Options{})
+	s := NewScheduler(q, SchedulerOptions{
+		Workers: 1,
+		Exec: func(ctx context.Context, j Job) (json.RawMessage, *Failure) {
+			close(started)
+			<-ctx.Done() // the cancel must reach the runner
+			return nil, &Failure{Code: "canceled", Message: ctx.Err().Error()}
+		},
+	})
+	s.Start()
+	defer s.Drain(context.Background())
+	j, _ := q.Submit(Spec{Type: "mitigate"})
+	<-started
+	if _, err := q.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, q, j.ID, StateCancelled)
+	if got.Failure != nil {
+		t.Fatalf("cancelled job carries failure %+v", got.Failure)
+	}
+	if st := q.Stats(); st.Transitions[StateCancelled] != 1 {
+		t.Fatalf("transitions = %+v", st.Transitions)
+	}
+}
+
+func TestTenantQuota(t *testing.T) {
+	q, _ := NewQueue(Options{MaxPerTenant: 2})
+	if _, err := q.Submit(Spec{Tenant: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(Spec{Tenant: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := q.Submit(Spec{Tenant: "a"})
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("third submit err = %v, want *QuotaError", err)
+	}
+	// Other tenants are unaffected.
+	if _, err := q.Submit(Spec{Tenant: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := q.Stats(); st.Throttled != 1 || st.Submitted != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPriorityClasses(t *testing.T) {
+	q, _ := NewQueue(Options{})
+	var mu sync.Mutex
+	var order []string
+	s := NewScheduler(q, SchedulerOptions{
+		Workers: 1,
+		Exec: func(_ context.Context, j Job) (json.RawMessage, *Failure) {
+			mu.Lock()
+			order = append(order, j.Spec.Type)
+			mu.Unlock()
+			return json.RawMessage(`{}`), nil
+		},
+	})
+	// Submit before starting so dispatch order is pure policy.
+	var last Job
+	for _, spec := range []Spec{
+		{Type: "low-1", Priority: 0},
+		{Type: "high-1", Priority: 5},
+		{Type: "low-2", Priority: 0},
+		{Type: "high-2", Priority: 5},
+	} {
+		last, _ = q.Submit(spec)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+	waitState(t, q, last.ID, StateDone)
+	for _, j := range q.List("", "") {
+		waitState(t, q, j.ID, StateDone)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"high-1", "high-2", "low-1", "low-2"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("execution order %v, want %v", order, want)
+	}
+}
+
+func TestWeightedRoundRobinFairness(t *testing.T) {
+	q, _ := NewQueue(Options{})
+	var mu sync.Mutex
+	var order []string
+	s := NewScheduler(q, SchedulerOptions{
+		Workers: 1,
+		Weights: map[string]int{"heavy": 2, "light": 1},
+		Exec: func(_ context.Context, j Job) (json.RawMessage, *Failure) {
+			mu.Lock()
+			order = append(order, j.Spec.Tenant)
+			mu.Unlock()
+			return json.RawMessage(`{}`), nil
+		},
+	})
+	const n = 9
+	for i := 0; i < n; i++ {
+		if _, err := q.Submit(Spec{Tenant: "heavy"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.Submit(Spec{Tenant: "light"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+	for _, j := range q.List("", "") {
+		if j.Spec.Tenant == "heavy" {
+			waitState(t, q, j.ID, StateDone)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// While both tenants have work pending, every window of 3 slots gives
+	// the weight-2 tenant exactly 2 (smooth WRR). Check the first 3
+	// windows — both tenants still have backlog there.
+	for w := 0; w+3 <= 9; w += 3 {
+		heavy := 0
+		for _, tn := range order[w : w+3] {
+			if tn == "heavy" {
+				heavy++
+			}
+		}
+		if heavy != 2 {
+			t.Fatalf("window %d of %v gave heavy %d of 3 slots, want 2", w/3, order, heavy)
+		}
+	}
+}
+
+func TestRetryableFailureRequeues(t *testing.T) {
+	q, _ := NewQueue(Options{})
+	var mu sync.Mutex
+	attempts := 0
+	s := NewScheduler(q, SchedulerOptions{
+		Workers: 1,
+		Exec: func(_ context.Context, j Job) (json.RawMessage, *Failure) {
+			mu.Lock()
+			attempts++
+			n := attempts
+			mu.Unlock()
+			if n == 1 {
+				return nil, &Failure{Code: "upstream_transient", Retryable: true}
+			}
+			return json.RawMessage(`{"ok":true}`), nil
+		},
+	})
+	s.Start()
+	defer s.Drain(context.Background())
+	j, _ := q.Submit(Spec{Type: "mitigate", MaxAttempts: 3})
+	got := waitState(t, q, j.ID, StateDone)
+	if got.Attempts != 2 || got.Requeues != 1 {
+		t.Fatalf("attempts=%d requeues=%d, want 2/1", got.Attempts, got.Requeues)
+	}
+	if st := q.Stats(); st.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", st.Retries)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	q, _ := NewQueue(Options{})
+	s := NewScheduler(q, SchedulerOptions{
+		Workers: 1,
+		Exec: func(context.Context, Job) (json.RawMessage, *Failure) {
+			return nil, &Failure{Code: "upstream_transient", Retryable: true}
+		},
+	})
+	s.Start()
+	defer s.Drain(context.Background())
+	j, _ := q.Submit(Spec{Type: "mitigate", MaxAttempts: 2})
+	got := waitState(t, q, j.ID, StateFailed)
+	if got.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", got.Attempts)
+	}
+}
+
+func TestMicroBatchCoalescesPendingJobs(t *testing.T) {
+	q, _ := NewQueue(Options{})
+	var mu sync.Mutex
+	prepares := 0
+	var prepSize int
+	s := NewScheduler(q, SchedulerOptions{
+		Workers: 1,
+		Prepare: func(_ context.Context, key string, size int) {
+			mu.Lock()
+			prepares++
+			prepSize = size
+			mu.Unlock()
+		},
+		Exec: func(_ context.Context, j Job) (json.RawMessage, *Failure) {
+			return json.RawMessage(`{}`), nil
+		},
+	})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		j, _ := q.Submit(Spec{Type: "mitigate", Tenant: fmt.Sprintf("t%d", i), BatchKey: "aim|qx4|5|brute"})
+		ids = append(ids, j.ID)
+	}
+	solo, _ := q.Submit(Spec{Type: "mitigate", Tenant: "t0"}) // no batch key
+	s.Start()
+	defer s.Drain(context.Background())
+	sizes := map[int]int{}
+	for _, id := range ids {
+		j := waitState(t, q, id, StateDone)
+		sizes[j.BatchSize]++
+	}
+	if sizes[3] != 3 {
+		t.Fatalf("batch sizes %v, want all three jobs in one batch of 3", sizes)
+	}
+	if j := waitState(t, q, solo.ID, StateDone); j.BatchSize != 1 {
+		t.Fatalf("solo job batch size %d, want 1", j.BatchSize)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if prepares != 1 || prepSize != 3 {
+		t.Fatalf("prepare called %d times (size %d), want once with size 3", prepares, prepSize)
+	}
+	st := q.Stats()
+	if st.MaxBatch != 3 || st.Batches != 2 || st.BatchedJobs != 4 {
+		t.Fatalf("batch stats = %+v", st)
+	}
+}
+
+// TestBatchWindowCollectsLateArrivals drives the batching window with an
+// injectable clock: the lead job is held open, two compatible jobs
+// arrive "during" the window, and firing the window coalesces all
+// three.
+func TestBatchWindowCollectsLateArrivals(t *testing.T) {
+	q, _ := NewQueue(Options{})
+	windowAsked := make(chan struct{}, 8)
+	fire := make(chan time.Time)
+	s := NewScheduler(q, SchedulerOptions{
+		Workers:     1,
+		BatchWindow: time.Hour, // duration is nominal; the fake clock fires it
+		After: func(d time.Duration) <-chan time.Time {
+			if d == time.Hour {
+				windowAsked <- struct{}{}
+				return fire
+			}
+			return time.After(d)
+		},
+		Exec: func(_ context.Context, j Job) (json.RawMessage, *Failure) {
+			return json.RawMessage(`{}`), nil
+		},
+	})
+	s.Start()
+	defer s.Drain(context.Background())
+
+	lead, _ := q.Submit(Spec{Type: "mitigate", BatchKey: "k"})
+	select {
+	case <-windowAsked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("scheduler never opened the batching window")
+	}
+	// These arrive while the window is open.
+	late1, _ := q.Submit(Spec{Type: "mitigate", BatchKey: "k"})
+	late2, _ := q.Submit(Spec{Type: "mitigate", BatchKey: "k"})
+	fire <- time.Now()
+
+	for _, id := range []string{lead.ID, late1.ID, late2.ID} {
+		if j := waitState(t, q, id, StateDone); j.BatchSize != 3 {
+			t.Fatalf("job %s ran in batch of %d, want 3", id, j.BatchSize)
+		}
+	}
+}
+
+func TestListFilters(t *testing.T) {
+	q, _ := NewQueue(Options{})
+	a, _ := q.Submit(Spec{Tenant: "a"})
+	b, _ := q.Submit(Spec{Tenant: "b"})
+	if _, err := q.Cancel(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.List(StateQueued, ""); len(got) != 1 || got[0].ID != a.ID {
+		t.Fatalf("List(queued) = %+v", got)
+	}
+	if got := q.List("", "b"); len(got) != 1 || got[0].State != StateCancelled {
+		t.Fatalf("List(tenant b) = %+v", got)
+	}
+	if got := q.List(StateCancelled, "a"); len(got) != 0 {
+		t.Fatalf("List(cancelled, a) = %+v", got)
+	}
+	if _, err := ParseState("bogus"); err == nil {
+		t.Fatal("ParseState accepted bogus")
+	}
+	sorted := q.List("", "")
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID }) {
+		t.Fatal("List not sorted by ID")
+	}
+}
+
+func TestTerminalRetention(t *testing.T) {
+	q, _ := NewQueue(Options{Retention: 2})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j, _ := q.Submit(Spec{})
+		if _, err := q.Cancel(j.ID); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	if _, ok := q.Get(ids[0]); ok {
+		t.Fatal("oldest terminal job should have been evicted")
+	}
+	if _, ok := q.Get(ids[3]); !ok {
+		t.Fatal("newest terminal job should be retained")
+	}
+}

@@ -137,11 +137,18 @@ func writeError(w http.ResponseWriter, err error) {
 // serving-path use case.
 const maxBodyBytes = 1 << 20
 
-// decodeJSON strictly decodes a request body into v.
+// decodeJSON strictly decodes a request body into v. Oversized bodies
+// get their own status and stable code (413 body_too_large) so clients
+// can tell "shrink the circuit" apart from "fix the JSON".
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return apiErrorf(http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+		}
 		return apiErrorf(http.StatusBadRequest, CodeBadRequest, "decoding request body: %v", err)
 	}
 	return nil

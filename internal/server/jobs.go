@@ -1,0 +1,401 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"biasmit/internal/api"
+	"biasmit/internal/jobs"
+	"biasmit/internal/profilestore"
+)
+
+// The async job API: POST /v1/jobs submits a mitigation or
+// characterization as a queued job, GET polls it (optionally
+// long-polling with ?wait=), DELETE cancels it. Jobs execute through
+// the exact same validation and execution paths as the synchronous
+// endpoints — same admission gate, same deadline, same seeds — so a
+// job's result is byte-identical to what the synchronous call would
+// have returned.
+
+// tenantKey resolves the fairness/quota identity of a request: the
+// X-API-Key header, or "anon".
+func tenantKey(r *http.Request) string {
+	if k := strings.TrimSpace(r.Header.Get("X-API-Key")); k != "" {
+		return k
+	}
+	return "anon"
+}
+
+// jobError maps queue errors onto the typed wire shape.
+func jobError(err error) *APIError {
+	var qe *jobs.QuotaError
+	switch {
+	case errors.As(err, &qe):
+		out := apiErrorf(http.StatusTooManyRequests, api.CodeQuotaExceeded,
+			"tenant %q already has %d jobs queued or running", qe.Tenant, qe.Limit)
+		out.RetryAfter = time.Second
+		return out
+	case errors.Is(err, jobs.ErrNotFound):
+		return apiErrorf(http.StatusNotFound, api.CodeJobNotFound, "no such job")
+	case errors.Is(err, jobs.ErrTerminal):
+		return apiErrorf(http.StatusConflict, api.CodeJobTerminal, "job already reached a terminal state")
+	}
+	return toAPIError(err)
+}
+
+// jobInfo renders a queue job for the wire.
+func jobInfo(j jobs.Job) api.JobInfo {
+	info := api.JobInfo{
+		ID:              j.ID,
+		Type:            j.Spec.Type,
+		State:           string(j.State),
+		Tenant:          j.Spec.Tenant,
+		Priority:        j.Spec.Priority,
+		SubmittedAt:     j.SubmittedAt.UTC(),
+		Attempts:        j.Attempts,
+		Requeues:        j.Requeues,
+		BatchSize:       j.BatchSize,
+		CancelRequested: j.CancelRequested,
+	}
+	if !j.StartedAt.IsZero() {
+		t := j.StartedAt.UTC()
+		info.StartedAt = &t
+	}
+	if !j.FinishedAt.IsZero() {
+		t := j.FinishedAt.UTC()
+		info.FinishedAt = &t
+	}
+	if j.Failure != nil {
+		info.Error = &api.Error{Code: j.Failure.Code, Message: j.Failure.Message, Status: j.Failure.Status}
+	}
+	return info
+}
+
+func jobResponse(j jobs.Job) *api.JobResponse {
+	return &api.JobResponse{Job: jobInfo(j), Result: j.Result}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleJobSubmit(w, r)
+	case http.MethodGet:
+		s.handleJobList(w, r)
+	default:
+		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"%s requires POST or GET", r.URL.Path))
+	}
+}
+
+// handleJobSubmit validates a submission enough to reject obvious
+// mistakes synchronously (unknown machine/benchmark/policy never enter
+// the queue), computes the micro-batching key, and durably enqueues.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.JobSubmitRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	spec := jobs.Spec{
+		Type:        req.Type,
+		Tenant:      tenantKey(r),
+		Priority:    req.Priority,
+		MaxAttempts: req.MaxAttempts,
+	}
+	switch req.Type {
+	case api.JobTypeMitigate:
+		if req.Mitigate == nil || req.Characterize != nil {
+			writeError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+				"a %q job carries exactly the mitigate body", req.Type))
+			return
+		}
+		if err := s.vetMitigateJob(req.Mitigate, &spec); err != nil {
+			writeError(w, err)
+			return
+		}
+	case api.JobTypeCharacterize:
+		if req.Characterize == nil || req.Mitigate != nil {
+			writeError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+				"a %q job carries exactly the characterize body", req.Type))
+			return
+		}
+		if err := s.vetCharacterizeJob(req.Characterize, &spec); err != nil {
+			writeError(w, err)
+			return
+		}
+	default:
+		writeError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"unknown job type %q (want %s or %s)", req.Type, api.JobTypeMitigate, api.JobTypeCharacterize))
+		return
+	}
+	j, err := s.jobq.Submit(spec)
+	if err != nil {
+		writeError(w, jobError(err))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobResponse(j))
+}
+
+// vetMitigateJob front-loads the request validation a synchronous
+// mitigate would fail on, fixes the payload bytes the executor will
+// decode, and derives the batch key: AIM runs on the same
+// machine/width/method share one profile fetch.
+func (s *Server) vetMitigateJob(req *MitigateRequest, spec *jobs.Spec) *APIError {
+	dev, ok := s.cfg.Machines(req.Machine)
+	if !ok {
+		return apiErrorf(http.StatusNotFound, CodeUnknownMachine, "unknown machine %q", req.Machine)
+	}
+	bench, err := resolveBenchmark(req)
+	if err != nil {
+		return toAPIError(err)
+	}
+	if err := s.checkShots(req.Shots); err != nil {
+		return toAPIError(err)
+	}
+	switch req.Policy {
+	case "baseline", "sim":
+	case "aim":
+		method, merr := resolveProfileMethod(req.ProfileMethod, bench.Width())
+		if merr != nil {
+			return toAPIError(merr)
+		}
+		spec.BatchKey = batchKey(dev.Name, bench.Width(), method)
+	default:
+		return apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"unknown policy %q (want baseline, sim, or aim)", req.Policy)
+	}
+	payload, perr := json.Marshal(req)
+	if perr != nil {
+		return apiErrorf(http.StatusBadRequest, CodeBadRequest, "encoding job payload: %v", perr)
+	}
+	spec.Payload = payload
+	return nil
+}
+
+// vetCharacterizeJob mirrors the synchronous characterize validation
+// and keys the batch so concurrent characterizations of one profile
+// coalesce (a forced re-characterization never batches — its point is a
+// fresh run).
+func (s *Server) vetCharacterizeJob(req *CharacterizeRequest, spec *jobs.Spec) *APIError {
+	dev, ok := s.cfg.Machines(req.Machine)
+	if !ok {
+		return apiErrorf(http.StatusNotFound, CodeUnknownMachine, "unknown machine %q", req.Machine)
+	}
+	width := req.Qubits
+	if width == 0 {
+		width = dev.NumQubits
+		if (req.Method == "" || req.Method == "auto" || req.Method == "brute") && width > 5 {
+			width = 5
+		}
+	}
+	if width < 1 || width > dev.NumQubits {
+		return apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"qubits %d out of range [1,%d] for %s", width, dev.NumQubits, dev.Name)
+	}
+	method, err := resolveProfileMethod(req.Method, width)
+	if err != nil {
+		return toAPIError(err)
+	}
+	if !req.Force {
+		spec.BatchKey = batchKey(dev.Name, width, method)
+	}
+	payload, perr := json.Marshal(req)
+	if perr != nil {
+		return apiErrorf(http.StatusBadRequest, CodeBadRequest, "encoding job payload: %v", perr)
+	}
+	spec.Payload = payload
+	return nil
+}
+
+// batchKey marks jobs that share one RBMS profile as batch-compatible.
+// The separator cannot occur in machine names, widths, or methods.
+func batchKey(machine string, width int, method string) string {
+	return machine + "|" + strconv.Itoa(width) + "|" + method
+}
+
+// parseBatchKey is batchKey's inverse, for the prepare hook.
+func parseBatchKey(key string) (profilestore.Key, bool) {
+	parts := strings.Split(key, "|")
+	if len(parts) != 3 {
+		return profilestore.Key{}, false
+	}
+	width, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return profilestore.Key{}, false
+	}
+	return profilestore.Key{Machine: parts[0], Width: width, Method: parts[2]}, true
+}
+
+// prepareBatch is the scheduler's shared-setup hook: fetch (or learn)
+// the batch's RBMS profile once, so every member's own profile lookup
+// is a cache hit. Errors are deliberately dropped — each member
+// re-discovers them through its normal path and fails with the proper
+// code.
+func (s *Server) prepareBatch(ctx context.Context, key string, size int) {
+	pk, ok := parseBatchKey(key)
+	if !ok {
+		return
+	}
+	_, _, _ = s.store.Serve(ctx, pk)
+}
+
+// execJob is the scheduler's executor: decode the payload and run it
+// through the exact synchronous path. Deterministic per spec — the
+// seeds are in the payload — which is what makes crash-recovery re-runs
+// byte-identical.
+func (s *Server) execJob(ctx context.Context, j jobs.Job) (json.RawMessage, *jobs.Failure) {
+	var (
+		result any
+		err    error
+	)
+	switch j.Spec.Type {
+	case api.JobTypeMitigate:
+		var req MitigateRequest
+		if derr := json.Unmarshal(j.Spec.Payload, &req); derr != nil {
+			return nil, &jobs.Failure{Code: CodeInternal, Status: http.StatusInternalServerError,
+				Message: fmt.Sprintf("decoding job payload: %v", derr)}
+		}
+		result, err = s.mitigate(ctx, &req)
+	case api.JobTypeCharacterize:
+		var req CharacterizeRequest
+		if derr := json.Unmarshal(j.Spec.Payload, &req); derr != nil {
+			return nil, &jobs.Failure{Code: CodeInternal, Status: http.StatusInternalServerError,
+				Message: fmt.Sprintf("decoding job payload: %v", derr)}
+		}
+		result, err = s.characterizeRequest(ctx, &req)
+	default:
+		return nil, &jobs.Failure{Code: CodeBadRequest, Status: http.StatusBadRequest,
+			Message: fmt.Sprintf("unknown job type %q", j.Spec.Type)}
+	}
+	if err != nil {
+		return nil, jobFailure(err)
+	}
+	// Stamp the protocol version exactly like writeJSON would have: a
+	// job's stored result is byte-for-byte the body the synchronous call
+	// would have written.
+	if ve, ok := result.(interface{ SetAPIVersion(string) }); ok {
+		ve.SetAPIVersion(api.Version)
+	}
+	raw, merr := json.Marshal(result)
+	if merr != nil {
+		return nil, &jobs.Failure{Code: CodeInternal, Status: http.StatusInternalServerError,
+			Message: fmt.Sprintf("encoding job result: %v", merr)}
+	}
+	return raw, nil
+}
+
+// jobFailure maps an execution error onto the job's terminal failure,
+// marking the transient classes (upstream faults, open breakers)
+// retryable so the scheduler can requeue within the job's attempt
+// budget — with the breaker's cooldown as the retry delay.
+func jobFailure(err error) *jobs.Failure {
+	ae := toAPIError(err)
+	f := &jobs.Failure{Code: ae.Code, Message: ae.Message, Status: ae.Status}
+	switch ae.Code {
+	case CodeUpstreamTransient, CodeBreakerOpen:
+		f.Retryable = true
+		f.RetryAfterMS = ae.RetryAfter.Milliseconds()
+	}
+	return f
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	state, err := jobs.ParseState(r.URL.Query().Get("state"))
+	if err != nil {
+		writeError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"unknown state filter %q", r.URL.Query().Get("state")))
+		return
+	}
+	resp := &api.JobListResponse{Jobs: []api.JobInfo{}}
+	for _, j := range s.jobq.List(state, r.URL.Query().Get("tenant")) {
+		resp.Jobs = append(resp.Jobs, jobInfo(j))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, apiErrorf(http.StatusNotFound, CodeNotFound, "no route %s %s", r.Method, r.URL.Path))
+		return
+	}
+	if err := jobs.ValidID(id); err != nil {
+		writeError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest, "malformed job ID %q", id))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.handleJobGet(w, r, id)
+	case http.MethodDelete:
+		s.handleJobCancel(w, id)
+	default:
+		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"%s requires GET or DELETE", r.URL.Path))
+	}
+}
+
+// handleJobGet returns one job, long-polling up to ?wait= (a Go
+// duration, or a plain number of seconds) for it to reach a terminal
+// state. The response is 200 with the job's current state either way —
+// a long poll that times out is not an error.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request, id string) {
+	j, ok := s.jobq.Get(id)
+	if !ok {
+		writeError(w, jobError(jobs.ErrNotFound))
+		return
+	}
+	if wait := r.URL.Query().Get("wait"); wait != "" && !j.State.Terminal() {
+		d, err := parseWait(wait)
+		if err != nil {
+			writeError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest, "bad wait %q: %v", wait, err))
+			return
+		}
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+		if ch, ok := s.jobq.Await(id); ok && d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-ch:
+			case <-timer.C:
+			case <-r.Context().Done():
+			}
+			timer.Stop()
+		}
+		j, _ = s.jobq.Get(id)
+	}
+	writeJSON(w, http.StatusOK, jobResponse(j))
+}
+
+// parseWait accepts "30s"-style durations and bare seconds.
+func parseWait(s string) (time.Duration, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		if d < 0 {
+			return 0, fmt.Errorf("negative duration")
+		}
+		return d, nil
+	}
+	secs, err := strconv.ParseFloat(s, 64)
+	if err != nil || secs < 0 {
+		return 0, fmt.Errorf("want a duration like 30s")
+	}
+	return time.Duration(secs * float64(time.Second)), nil
+}
+
+// handleJobCancel cancels a job: queued jobs die immediately, running
+// jobs get their execution context cancelled and wind down
+// asynchronously (poll for the cancelled state).
+func (s *Server) handleJobCancel(w http.ResponseWriter, id string) {
+	j, err := s.jobq.Cancel(id)
+	if err != nil {
+		writeError(w, jobError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobResponse(j))
+}

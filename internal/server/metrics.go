@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"biasmit/internal/jobs"
 	"biasmit/internal/profilestore"
 	"biasmit/internal/resilient"
 )
@@ -114,7 +115,7 @@ func breakerStateValue(state string) int {
 // executor counters, the per-machine breaker snapshots, and — when the
 // store is durable — the persistence counters and recovery gauges, in
 // the Prometheus text exposition format.
-func (m *metricsRegistry) write(w io.Writer, cache profilestore.Stats, runs resilient.MetricsSnapshot, breakers []breakerInfo, persist *profilestore.DiskLogStats) {
+func (m *metricsRegistry) write(w io.Writer, cache profilestore.Stats, runs resilient.MetricsSnapshot, breakers []breakerInfo, persist *profilestore.DiskLogStats, jobStats jobs.Stats, jobsDurable bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -193,6 +194,50 @@ func (m *metricsRegistry) write(w io.Writer, cache profilestore.Stats, runs resi
 		counter("biasmitd_snapshots_total", "Snapshot compactions completed.", persist.Snapshots)
 		counter("biasmitd_snapshot_errors_total", "Snapshot compactions failed.", persist.SnapshotErrors)
 		gauge("biasmitd_journal_live_records", "Profiles in the durable journal (mirror of the cache gauge).", int64(persist.LiveRecords))
+	}
+
+	// Async job queue: depth by state, lifecycle transitions, batching,
+	// fairness throttles, and the queue's own durability counters.
+	fmt.Fprintln(w, "# HELP biasmitd_jobs_depth Async jobs currently in each lifecycle state.")
+	fmt.Fprintln(w, "# TYPE biasmitd_jobs_depth gauge")
+	for _, sc := range []struct {
+		state string
+		n     int
+	}{
+		{"queued", jobStats.Queued}, {"running", jobStats.Running}, {"done", jobStats.Done},
+		{"failed", jobStats.Failed}, {"cancelled", jobStats.Cancelled},
+	} {
+		fmt.Fprintf(w, "biasmitd_jobs_depth{state=%q} %d\n", sc.state, sc.n)
+	}
+	fmt.Fprintln(w, "# HELP biasmitd_job_transitions_total Async job entries into each state (queued includes requeues).")
+	fmt.Fprintln(w, "# TYPE biasmitd_job_transitions_total counter")
+	for _, st := range []jobs.State{jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed, jobs.StateCancelled} {
+		fmt.Fprintf(w, "biasmitd_job_transitions_total{state=%q} %d\n", string(st), jobStats.Transitions[st])
+	}
+	counter("biasmitd_jobs_submitted_total", "Async job submissions accepted.", jobStats.Submitted)
+	counter("biasmitd_jobs_throttled_total", "Async job submissions rejected by a tenant quota.", jobStats.Throttled)
+	counter("biasmitd_job_batches_total", "Micro-batches executed.", jobStats.Batches)
+	counter("biasmitd_job_batched_jobs_total", "Jobs executed inside micro-batches.", jobStats.BatchedJobs)
+	gauge("biasmitd_job_max_batch_size", "Largest micro-batch executed since boot.", int64(jobStats.MaxBatch))
+	counter("biasmitd_job_retries_total", "Jobs requeued after a retryable failure.", jobStats.Retries)
+	counter("biasmitd_job_drain_requeues_total", "Running jobs checkpointed back to queued by a drain deadline.", jobStats.DrainRequeues)
+	counter("biasmitd_job_journal_errors_total", "Job journal appends that failed (the queue kept going).", jobStats.JournalErrors)
+	gauge("biasmitd_jobs_recovered", "Live jobs reconstructed from the journal at the last boot.", int64(jobStats.RecoveredJobs))
+	gauge("biasmitd_jobs_recovered_requeued", "Recovered jobs that were mid-run and went back to queued.", int64(jobStats.RecoveredRequeued))
+	if !jobsDurable {
+		gauge("biasmitd_jobs_persistence_enabled", "1 when the job queue journals to disk, 0 for memory-only.", 0)
+	} else {
+		gauge("biasmitd_jobs_persistence_enabled", "1 when the job queue journals to disk, 0 for memory-only.", 1)
+		counter("biasmitd_jobs_wal_appends_total", "Job journal entries committed (written and fsynced).", jobStats.Log.WALAppends)
+		counter("biasmitd_jobs_wal_append_errors_total", "Job journal entries that failed to commit.", jobStats.Log.WALAppendErrors)
+		gauge("biasmitd_jobs_wal_size_bytes", "Committed bytes currently in the job WAL.", jobStats.Log.WALSizeBytes)
+		counter("biasmitd_jobs_snapshots_total", "Job journal snapshot compactions completed.", jobStats.Log.Snapshots)
+		counter("biasmitd_jobs_snapshot_errors_total", "Job journal snapshot compactions failed.", jobStats.Log.SnapshotErrors)
+		tail := int64(0)
+		if jobStats.Log.Recovery.TailTruncated {
+			tail = 1
+		}
+		gauge("biasmitd_jobs_recovery_wal_tail_truncated", "1 when the last boot dropped a torn job-WAL tail (crash mid-append).", tail)
 	}
 
 	counter("biasmitd_backend_runs_total", "Backend runs started (past the breaker).", runs.Runs)

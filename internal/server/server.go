@@ -37,6 +37,7 @@ import (
 	"biasmit/internal/device"
 	"biasmit/internal/dist"
 	"biasmit/internal/experiments"
+	"biasmit/internal/jobs"
 	"biasmit/internal/kernels"
 	"biasmit/internal/metrics"
 	"biasmit/internal/orchestrate"
@@ -105,6 +106,23 @@ type Config struct {
 	// an open breaker rejects work before probing again (default 30s).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// JobsLog, when non-nil, makes the async job queue durable: every job
+	// state transition is journaled through it (WAL + snapshots) and the
+	// jobs it recovered are re-queued or surfaced as history at
+	// construction. The caller owns the log's lifecycle (Close after
+	// DrainJobs).
+	JobsLog *jobs.Log
+	// JobWorkers bounds concurrently executing async job batches
+	// (default 2).
+	JobWorkers int
+	// JobBatchWindow is how long a dispatched batchable job is held open
+	// for compatible jobs to coalesce into its micro-batch (default 0:
+	// only already-queued jobs coalesce).
+	JobBatchWindow time.Duration
+	// JobQuota bounds each tenant's queued+running async jobs;
+	// submissions past it are rejected with 429 quota_exceeded. Zero
+	// means unbounded.
+	JobQuota int
 	// MachineNames lists the machines /healthz reports on; defaults to
 	// the paper's three machines (device.AllMachines).
 	MachineNames []string
@@ -170,6 +188,12 @@ type Server struct {
 	runMetrics *resilient.Metrics
 	execMu     sync.Mutex
 	execs      map[string]*machineExec
+
+	// Async job queue (POST /v1/jobs): durable when cfg.JobsLog is set,
+	// drained into the same mitigate/characterize paths the synchronous
+	// endpoints use.
+	jobq     *jobs.Queue
+	jobsched *jobs.Scheduler
 }
 
 // machineExec is one machine's execution path plus its breaker.
@@ -206,9 +230,30 @@ func New(cfg Config) *Server {
 		// across the restart — an old profile on disk is still old).
 		s.store.Load(cfg.Persist.RecoveredProfiles())
 	}
+	q, err := jobs.NewQueue(jobs.Options{
+		Log:          cfg.JobsLog,
+		Now:          cfg.Now,
+		MaxPerTenant: cfg.JobQuota,
+	})
+	if err != nil {
+		// Recovery absorbs journal faults into its error counters, so this
+		// path is defensive: serve memory-only rather than boot dark.
+		q, _ = jobs.NewQueue(jobs.Options{Now: cfg.Now, MaxPerTenant: cfg.JobQuota})
+	}
+	s.jobq = q
+	s.jobsched = jobs.NewScheduler(q, jobs.SchedulerOptions{
+		Exec:        s.execJob,
+		Prepare:     s.prepareBatch,
+		Workers:     cfg.JobWorkers,
+		BatchWindow: cfg.JobBatchWindow,
+		Now:         cfg.Now,
+	})
+	s.jobsched.Start()
 	s.mux.HandleFunc("/v1/mitigate", s.instrument("/v1/mitigate", s.handleMitigate))
 	s.mux.HandleFunc("/v1/characterize", s.instrument("/v1/characterize", s.handleCharacterize))
 	s.mux.HandleFunc("/v1/profiles", s.instrument("/v1/profiles", s.handleProfiles))
+	s.mux.HandleFunc("/v1/jobs", s.instrument("/v1/jobs", s.handleJobs))
+	s.mux.HandleFunc("/v1/jobs/", s.instrument("/v1/jobs/", s.handleJobByID))
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux.HandleFunc("/", s.instrument("/", s.handleNotFound))
@@ -221,6 +266,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Store exposes the profile store so the daemon can run its background
 // refresh loop (Store().RefreshLoop).
 func (s *Server) Store() *profilestore.Store { return s.store }
+
+// DrainJobs gracefully stops the async job scheduler: dispatch halts,
+// running jobs get until ctx ends to finish, stragglers are cancelled
+// and journaled back to queued, and the job journal is checkpointed.
+// Call before closing the jobs log.
+func (s *Server) DrainJobs(ctx context.Context) jobs.DrainResult { return s.jobsched.Drain(ctx) }
+
+// JobStats snapshots the async job queue's gauges and counters (the
+// daemon logs recovery from it at boot).
+func (s *Server) JobStats() jobs.Stats { return s.jobq.Stats() }
 
 // statusRecorder captures the status code a handler wrote.
 type statusRecorder struct {
@@ -787,7 +842,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := s.cfg.Persist.Stats()
 		persistStats = &st
 	}
-	s.reg.write(w, s.store.StatsSnapshot(), s.runMetrics.Snapshot(), s.breakerInfos(), persistStats)
+	s.reg.write(w, s.store.StatsSnapshot(), s.runMetrics.Snapshot(), s.breakerInfos(), persistStats,
+		s.jobq.Stats(), s.cfg.JobsLog != nil)
 }
 
 // breakerInfos snapshots every machine's breaker for /metrics, in a

@@ -5,7 +5,7 @@
 // real Go callers use, and a contract break fails to compile instead of
 // failing to grep.
 //
-// Four scenarios, selected with -scenario:
+// Five scenarios, selected with -scenario:
 //
 //	serve    health, an AIM profile-cache miss/hit pair, a typed
 //	         over-budget rejection, and the /metrics counters that prove
@@ -24,6 +24,15 @@
 //	         and asserts the profiles serve warm — original learned_at,
 //	         zero re-characterizations, byte-identical mitigation
 //	         output — before stopping the second daemon gracefully.
+//	overload admission-control round-trip. Owns the daemon (-daemon,
+//	         -data-dir as scratch): boots it with the adaptive limiter,
+//	         brownout, and a gray-slow chaos backend, storms the
+//	         mitigate endpoint at several times capacity, and asserts
+//	         excess load sheds with typed overloaded 503s + Retry-After
+//	         within the queue timeout, AIM requests degrade to cheaper
+//	         policies (ServedPolicy/BrownoutTier visible) instead of
+//	         failing, mid-storm async jobs all complete once the storm
+//	         passes, and full quality returns after sustained calm.
 //	jobs     async-queue crash round-trip. Also owns the daemon
 //	         (-daemon, -jobs-dir): submits jobs through POST /v1/jobs,
 //	         requires a job's result byte-identical to the synchronous
@@ -52,7 +61,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "daemon address (host:port or URL; serve/breaker scenarios)")
-	scenario := flag.String("scenario", "serve", "round-trip to run: serve, breaker, recover, or jobs")
+	scenario := flag.String("scenario", "serve", "round-trip to run: serve, breaker, recover, jobs, or overload")
 	daemonBin := flag.String("daemon", "", "path to the biasmitd binary (recover scenario)")
 	dataDir := flag.String("data-dir", "", "durable store directory handed to the daemon (recover scenario)")
 	jobsDir := flag.String("jobs-dir", "", "durable job-queue directory handed to the daemon (jobs scenario)")
@@ -74,6 +83,8 @@ func main() {
 		err = recoverScenario(ctx, *daemonBin, *dataDir)
 	case "jobs":
 		err = jobsScenario(ctx, *daemonBin, *jobsDir)
+	case "overload":
+		err = overloadScenario(ctx, *daemonBin, *dataDir)
 	default:
 		err = fmt.Errorf("unknown scenario %q", *scenario)
 	}

@@ -78,6 +78,14 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 2, "concurrently executing async job batches")
 	batchWindow := flag.Duration("batch-window", 25*time.Millisecond, "how long a batchable async job waits for compatible jobs to coalesce (0 = no waiting)")
 	tenantQuota := flag.Int("tenant-quota", 64, "queued+running async jobs allowed per tenant (0 = unbounded)")
+	autoInflight := flag.Bool("max-inflight-auto", false, "adapt the in-flight ceiling to observed latency (AIMD) and shed excess with typed 503s, instead of the static -max-jobs gate")
+	queueTimeout := flag.Duration("queue-timeout", 100*time.Millisecond, "how long an admission-queued request may wait before being shed (needs -max-inflight-auto)")
+	brownout := flag.Bool("brownout", false, "degrade AIM to SIM to baseline under sustained admission pressure instead of shedding, stepping back up when it clears")
+	brownoutDwellDown := flag.Duration("brownout-dwell-down", 2*time.Second, "sustained pressure required before stepping a brownout tier down")
+	brownoutDwellUp := flag.Duration("brownout-dwell-up", 5*time.Second, "sustained calm required before stepping a brownout tier back up")
+	retryBudget := flag.Float64("retry-budget", 0.1, "retry traffic allowed as a fraction of fresh admitted work (0 disables the budget)")
+	queueHighWater := flag.Int("queue-high-water", 0, "queued async jobs past which /healthz reports 503 unavailable (0 = never)")
+	watchdogStall := flag.Duration("watchdog-stall", 30*time.Second, "missing-heartbeat window after which a wedged job batch is dumped, cancelled, and requeued")
 	chaosPlan := chaos.Flags(flag.CommandLine)
 	flag.Parse()
 	if err := chaosPlan.Validate(); err != nil {
@@ -114,26 +122,34 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:          *workers,
-		MaxJobs:          *maxJobs,
-		DefaultTimeout:   *defaultTimeout,
-		MaxTimeout:       *maxTimeout,
-		MaxShots:         *maxShots,
-		ProfileShots:     *profileShots,
-		ProfileTTL:       *profileTTL,
-		Seed:             *seed,
-		Chaos:            *chaosPlan,
-		RetryAttempts:    *retryAttempts,
-		RetryBaseDelay:   *retryBaseDelay,
-		SliceShots:       *sliceShots,
-		BreakerThreshold: *breakerThreshold,
-		BreakerCooldown:  *breakerCooldown,
-		Persist:          dlog,
-		MaxProfiles:      *maxProfiles,
-		JobsLog:          jlog,
-		JobWorkers:       *jobWorkers,
-		JobBatchWindow:   *batchWindow,
-		JobQuota:         *tenantQuota,
+		Workers:           *workers,
+		MaxJobs:           *maxJobs,
+		DefaultTimeout:    *defaultTimeout,
+		MaxTimeout:        *maxTimeout,
+		MaxShots:          *maxShots,
+		ProfileShots:      *profileShots,
+		ProfileTTL:        *profileTTL,
+		Seed:              *seed,
+		Chaos:             *chaosPlan,
+		RetryAttempts:     *retryAttempts,
+		RetryBaseDelay:    *retryBaseDelay,
+		SliceShots:        *sliceShots,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerCooldown:   *breakerCooldown,
+		Persist:           dlog,
+		MaxProfiles:       *maxProfiles,
+		JobsLog:           jlog,
+		JobWorkers:        *jobWorkers,
+		JobBatchWindow:    *batchWindow,
+		JobQuota:          *tenantQuota,
+		AutoInflight:      *autoInflight,
+		QueueTimeout:      *queueTimeout,
+		Brownout:          *brownout,
+		BrownoutDwellDown: *brownoutDwellDown,
+		BrownoutDwellUp:   *brownoutDwellUp,
+		RetryBudget:       *retryBudget,
+		QueueHighWater:    *queueHighWater,
+		WatchdogStall:     *watchdogStall,
 	})
 	if st := srv.JobStats(); st.RecoveredJobs > 0 {
 		log.Printf("requeued %d of %d recovered jobs interrupted mid-run", st.RecoveredRequeued, st.RecoveredJobs)

@@ -46,6 +46,12 @@ const (
 	// CodeUpstreamTransient marks a run that kept failing transiently
 	// even after the server's retry budget; the request is safe to retry.
 	CodeUpstreamTransient = "upstream_transient"
+	// CodeOverloaded marks a request shed by admission control: the
+	// adaptive concurrency limiter's queue was full or timed out, or the
+	// request could not finish inside its propagated deadline budget.
+	// The response carries a Retry-After header; clients must not retry
+	// sooner (HTTP 503). The request did no work and is safe to retry.
+	CodeOverloaded = "overloaded"
 	// CodeCanceled marks a request whose context was canceled (usually a
 	// client disconnect or server drain).
 	CodeCanceled = "canceled"
@@ -206,8 +212,16 @@ type MitigateResponse struct {
 	// Degraded is true when the run leaned on stale data (see
 	// MitigateProfile.Degraded): the result is usable but the caller
 	// should know the machine view behind it is old.
-	Degraded  bool    `json:"degraded,omitempty"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	Degraded bool `json:"degraded,omitempty"`
+	// ServedPolicy is the policy actually executed. It equals Policy
+	// except under brownout, when the server steps mitigation quality
+	// down (aim → sim → baseline) instead of shedding: Policy echoes
+	// what was asked, ServedPolicy is what the counts really are.
+	ServedPolicy string `json:"served_policy"`
+	// BrownoutTier is the server's degradation tier at serving time
+	// (0 = full quality, 1 = sim, 2 = baseline). Omitted when zero.
+	BrownoutTier int     `json:"brownout_tier,omitempty"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
 }
 
 // CharacterizeRequest is the body of POST /v1/characterize. The
@@ -355,4 +369,16 @@ type HealthResponse struct {
 	Machines       []HealthMachine `json:"machines,omitempty"`
 	ProfilesCached int             `json:"profiles_cached"`
 	ProfilesStale  int             `json:"profiles_stale"`
+	// JobsQueued/JobsRunning expose the async queue depth; a queue past
+	// the server's high-water mark flips Status to "unavailable" (503)
+	// so load balancers stop routing new work here.
+	JobsQueued  int `json:"jobs_queued"`
+	JobsRunning int `json:"jobs_running"`
+	// OldestQueuedMS is the age of the oldest still-queued job — the
+	// honest backlog signal (a deep queue of fresh jobs is busy; a
+	// shallow queue of old jobs is stuck).
+	OldestQueuedMS int64 `json:"oldest_queued_ms,omitempty"`
+	// BrownoutTier is the current quality-degradation tier
+	// (0 full, 1 sim, 2 baseline). Omitted when zero.
+	BrownoutTier int `json:"brownout_tier,omitempty"`
 }

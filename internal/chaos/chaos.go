@@ -65,6 +65,23 @@ type Plan struct {
 	// deadline handling end to end. Calls without a deadline degrade to a
 	// plain transient failure instead of hanging forever.
 	StallRate float64
+	// GraySlowRate is the probability of a gray failure: the call
+	// succeeds — nothing for a breaker to count — but only after a
+	// delay of 50–100% of GraySlow. This is the slow-drip backend that
+	// kills services the error-rate machinery cannot see; only a
+	// latency-sensing limiter reacts to it.
+	GraySlowRate float64
+	// GraySlow is the maximum gray-failure delay (default 100ms when a
+	// gray-slow fault fires with a zero GraySlow).
+	GraySlow time.Duration
+	// RampStep, when positive, adds an unconditional creeping delay of
+	// min(callIndex×RampStep, RampMax) to every intercepted call: a
+	// backend whose latency degrades gradually, the ramp an adaptive
+	// limiter must back off from before anything ever "fails".
+	RampStep time.Duration
+	// RampMax caps the creeping ramp (default 1s when RampStep is set
+	// with a zero RampMax).
+	RampMax time.Duration
 	// FailFirst deterministically fails the first N intercepted calls
 	// with a transient error before the probabilistic schedule applies.
 	// This is the knob breaker tests use: N failures open the breaker,
@@ -75,7 +92,7 @@ type Plan struct {
 // Enabled reports whether the plan injects any fault at all.
 func (p Plan) Enabled() bool {
 	return p.TransientRate > 0 || p.PartialRate > 0 || p.LatencyRate > 0 ||
-		p.StallRate > 0 || p.FailFirst > 0
+		p.StallRate > 0 || p.GraySlowRate > 0 || p.RampStep > 0 || p.FailFirst > 0
 }
 
 // Validate rejects malformed rates.
@@ -88,16 +105,20 @@ func (p Plan) Validate() error {
 		{"partial", p.PartialRate},
 		{"latency", p.LatencyRate},
 		{"stall", p.StallRate},
+		{"gray-slow", p.GraySlowRate},
 	} {
 		if r.v < 0 || r.v > 1 {
 			return fmt.Errorf("chaos: %s rate %v out of [0,1]", r.name, r.v)
 		}
 	}
-	if sum := p.TransientRate + p.PartialRate + p.LatencyRate + p.StallRate; sum > 1 {
+	if sum := p.TransientRate + p.PartialRate + p.LatencyRate + p.StallRate + p.GraySlowRate; sum > 1 {
 		return fmt.Errorf("chaos: fault rates sum to %v > 1", sum)
 	}
 	if p.FailFirst < 0 {
 		return fmt.Errorf("chaos: fail-first %d is negative", p.FailFirst)
+	}
+	if p.RampStep < 0 || p.RampMax < 0 {
+		return fmt.Errorf("chaos: negative ramp (step %v, max %v)", p.RampStep, p.RampMax)
 	}
 	return nil
 }
@@ -109,6 +130,8 @@ type Stats struct {
 	Partials   uint64
 	Latencies  uint64
 	Stalls     uint64
+	GraySlows  uint64
+	Ramped     uint64
 }
 
 // Injector intercepts backend runs according to a Plan. Construct with
@@ -123,6 +146,8 @@ type Injector struct {
 	partials   atomic.Uint64
 	latencies  atomic.Uint64
 	stalls     atomic.Uint64
+	graySlows  atomic.Uint64
+	ramped     atomic.Uint64
 }
 
 // New wraps run with fault injection under plan.
@@ -148,6 +173,8 @@ func (in *Injector) Stats() Stats {
 		Partials:   in.partials.Load(),
 		Latencies:  in.latencies.Load(),
 		Stalls:     in.stalls.Load(),
+		GraySlows:  in.graySlows.Load(),
+		Ramped:     in.ramped.Load(),
 	}
 }
 
@@ -163,6 +190,11 @@ func transientf(format string, args ...any) error {
 func (in *Injector) Run(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt backend.Options) (*dist.Counts, error) {
 	attempt := in.attempt.Add(1) - 1
 	in.calls.Add(1)
+	if in.plan.RampStep > 0 {
+		if err := in.ramp(ctx, attempt); err != nil {
+			return nil, err
+		}
+	}
 	if attempt < int64(in.plan.FailFirst) {
 		in.transients.Add(1)
 		return nil, transientf("injected fail-first failure %d/%d", attempt+1, in.plan.FailFirst)
@@ -190,8 +222,59 @@ func (in *Injector) Run(ctx context.Context, c *circuit.Circuit, dev *device.Dev
 		}
 		<-ctx.Done()
 		return nil, fmt.Errorf("chaos: injected stall exhausted the deadline (attempt %d): %w", attempt, ctx.Err())
+	case u < in.plan.TransientRate+in.plan.PartialRate+in.plan.LatencyRate+in.plan.StallRate+in.plan.GraySlowRate:
+		in.graySlows.Add(1)
+		if err := in.graySlow(ctx, rng); err != nil {
+			return nil, err
+		}
 	}
 	return in.run(ctx, c, dev, opt)
+}
+
+// graySlow sleeps 50–100% of Plan.GraySlow and then lets the call
+// succeed: the gray failure that never trips error-rate machinery. The
+// 50% floor keeps the fault unmistakably slow — a uniform draw from zero
+// would sometimes inject delays indistinguishable from health.
+func (in *Injector) graySlow(ctx context.Context, rng *rand.Rand) error {
+	max := in.plan.GraySlow
+	if max <= 0 {
+		max = 100 * time.Millisecond
+	}
+	d := max/2 + time.Duration(rng.Int63n(int64(max/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ramp delays the call by min(attempt×RampStep, RampMax): latency that
+// creeps upward with every call, the degradation pattern of a backend
+// slowly running out of some resource.
+func (in *Injector) ramp(ctx context.Context, attempt int64) error {
+	max := in.plan.RampMax
+	if max <= 0 {
+		max = time.Second
+	}
+	d := time.Duration(attempt) * in.plan.RampStep
+	if d > max || d/in.plan.RampStep != time.Duration(attempt) { // cap, overflow-safe
+		d = max
+	}
+	if d <= 0 {
+		return nil
+	}
+	in.ramped.Add(1)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // partial completes m < shots trials for real — consuming the same
@@ -251,6 +334,10 @@ func Flags(fs *flag.FlagSet) *Plan {
 	fs.Float64Var(&p.LatencyRate, "chaos-latency-rate", 0, "probability a backend call is delayed before executing")
 	fs.DurationVar(&p.Latency, "chaos-latency", 50*time.Millisecond, "maximum injected delay for latency faults")
 	fs.Float64Var(&p.StallRate, "chaos-stall", 0, "probability a backend call blocks until its deadline")
+	fs.Float64Var(&p.GraySlowRate, "chaos-gray-slow-rate", 0, "probability a backend call succeeds slowly (gray failure)")
+	fs.DurationVar(&p.GraySlow, "chaos-gray-slow", 100*time.Millisecond, "maximum gray-failure delay (calls sleep 50-100% of this)")
+	fs.DurationVar(&p.RampStep, "chaos-ramp-step", 0, "per-call creeping latency increment (0 disables the ramp)")
+	fs.DurationVar(&p.RampMax, "chaos-ramp-max", time.Second, "cap on the creeping latency ramp")
 	fs.IntVar(&p.FailFirst, "chaos-fail-first", 0, "deterministically fail this many calls before the probabilistic schedule applies")
 	return p
 }

@@ -176,3 +176,91 @@ func TestFromEnv(t *testing.T) {
 		t.Fatal("malformed rate should error")
 	}
 }
+
+func TestGraySlowSucceedsSlowly(t *testing.T) {
+	under := &okRunner{}
+	in := New(Plan{Seed: 3, GraySlowRate: 1, GraySlow: 20 * time.Millisecond}, under.run)
+	start := time.Now()
+	counts, err := in.Run(context.Background(), testCircuit(), device.IBMQX2(), backend.Options{Shots: 50, Seed: 1})
+	if err != nil {
+		t.Fatalf("gray-slow call must succeed, got %v", err)
+	}
+	if counts.Total() != 50 {
+		t.Fatalf("total = %d, want 50 (gray failures never corrupt results)", counts.Total())
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("gray-slow call finished in %v, want >= 50%% of the configured delay", elapsed)
+	}
+	if s := in.Stats(); s.GraySlows != 1 {
+		t.Fatalf("stats = %+v, want one gray-slow", s)
+	}
+}
+
+func TestGraySlowHonoursContext(t *testing.T) {
+	under := &okRunner{}
+	in := New(Plan{Seed: 3, GraySlowRate: 1, GraySlow: time.Minute}, under.run)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := in.Run(ctx, testCircuit(), device.IBMQX2(), backend.Options{Shots: 10, Seed: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("gray-slow under a tight deadline: %v, want deadline exceeded", err)
+	}
+}
+
+func TestLatencyRampCreeps(t *testing.T) {
+	under := &okRunner{}
+	in := New(Plan{RampStep: 5 * time.Millisecond, RampMax: 12 * time.Millisecond}, under.run)
+	ctx := context.Background()
+	opt := backend.Options{Shots: 10, Seed: 1}
+
+	// Call 0: no delay yet.
+	start := time.Now()
+	if _, err := in.Run(ctx, testCircuit(), device.IBMQX2(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 4*time.Millisecond {
+		t.Logf("call 0 took %v (expected ~0); slow runner, not failing", elapsed)
+	}
+
+	// Call 1: one step.
+	start = time.Now()
+	if _, err := in.Run(ctx, testCircuit(), device.IBMQX2(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("call 1 took %v, want >= one 5ms ramp step", elapsed)
+	}
+
+	// Call 5 would be 25ms unclamped; the cap holds it at 12ms.
+	for i := 2; i < 5; i++ {
+		if _, err := in.Run(ctx, testCircuit(), device.IBMQX2(), opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start = time.Now()
+	if _, err := in.Run(ctx, testCircuit(), device.IBMQX2(), opt); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 12*time.Millisecond {
+		t.Fatalf("capped call took %v, want >= RampMax 12ms", elapsed)
+	}
+	if s := in.Stats(); s.Ramped != 5 {
+		t.Fatalf("stats = %+v, want 5 ramped calls (call 0 free)", s)
+	}
+}
+
+func TestGrayModesValidate(t *testing.T) {
+	if err := (Plan{GraySlowRate: 1.5}).Validate(); err == nil {
+		t.Fatal("gray-slow rate > 1 accepted")
+	}
+	if err := (Plan{TransientRate: 0.6, GraySlowRate: 0.6}).Validate(); err == nil {
+		t.Fatal("rate sum > 1 accepted")
+	}
+	if err := (Plan{RampStep: -time.Second}).Validate(); err == nil {
+		t.Fatal("negative ramp accepted")
+	}
+	if !(Plan{GraySlowRate: 0.1}).Enabled() || !(Plan{RampStep: time.Millisecond}).Enabled() {
+		t.Fatal("gray modes must enable the injector")
+	}
+}

@@ -1,0 +1,149 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"biasmit/internal/api"
+	"biasmit/internal/overload"
+)
+
+const charBody = `{"api_version":"v1","profile":{"machine":"ibmqx4","qubits":4,"method":"brute"}}`
+
+// TestDeadlineHeaderForwarded: a context deadline rides to the daemon
+// as X-Request-Deadline so the server can shed doomed work early.
+func TestDeadlineHeaderForwarded(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(overload.DeadlineHeader))
+		w.Write([]byte(`{"api_version":"v1","profiles":[]}`))
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := New(ts.URL).Profiles(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := got.Load().(string)
+	if h == "" {
+		t.Fatal("request carried no deadline header")
+	}
+	dl, err := overload.ParseDeadline(h)
+	if err != nil {
+		t.Fatalf("forwarded deadline %q does not parse: %v", h, err)
+	}
+	if until := time.Until(dl); until < 50*time.Second || until > time.Minute {
+		t.Fatalf("forwarded deadline %v out, want ~1m", until)
+	}
+}
+
+// TestNoDeadlineHeaderWithoutDeadline: a background context adds no
+// header — the server default applies.
+func TestNoDeadlineHeaderWithoutDeadline(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(overload.DeadlineHeader))
+		w.Write([]byte(`{"api_version":"v1","profiles":[]}`))
+	}))
+	defer ts.Close()
+	if _, err := New(ts.URL).Profiles(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := got.Load().(string); h != "" {
+		t.Fatalf("unexpected deadline header %q", h)
+	}
+}
+
+// TestHedgedCharacterizeWinsTail: after warming the p95 tracker with
+// fast responses, one request that stalls triggers a hedge whose fast
+// response wins well before the stalled primary would have returned.
+func TestHedgedCharacterizeWinsTail(t *testing.T) {
+	var calls atomic.Int64
+	stall := make(chan struct{}) // held open for the whole test
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n == minHedgeSamples+1 {
+			// The tail-latency straggler: park until the client gives up
+			// on this attempt.
+			select {
+			case <-stall:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		w.Write([]byte(charBody))
+	}))
+	defer ts.Close()
+	defer close(stall)
+
+	cl := New(ts.URL, WithHedgedReads(), WithRetryBudget(0.1, 10))
+	req := &api.CharacterizeRequest{Machine: "ibmqx4"}
+	for i := 0; i < minHedgeSamples; i++ {
+		if _, err := cl.Characterize(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	start := time.Now()
+	resp, err := cl.Characterize(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hedged call took %v — hedge never fired", elapsed)
+	}
+	if resp.Profile.Machine != "ibmqx4" {
+		t.Fatalf("bad hedged response: %+v", resp)
+	}
+	if n := calls.Load(); n != minHedgeSamples+2 {
+		t.Fatalf("%d requests total, want %d (warmup + straggler + hedge)", n, minHedgeSamples+2)
+	}
+}
+
+// TestForceCharacterizeNeverHedges: a forced re-characterization is not
+// idempotent in spirit (its point is a fresh run), so it is exempt from
+// hedging no matter how slow.
+func TestForceCharacterizeNeverHedges(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Write([]byte(charBody))
+	}))
+	defer ts.Close()
+
+	cl := New(ts.URL, WithHedgedReads())
+	for i := 0; i < minHedgeSamples; i++ {
+		if _, err := cl.Characterize(context.Background(), &api.CharacterizeRequest{Machine: "ibmqx4"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Characterize(context.Background(), &api.CharacterizeRequest{Machine: "ibmqx4", Force: true}); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != minHedgeSamples+1 {
+		t.Fatalf("%d requests, want exactly %d (no hedge for Force)", n, minHedgeSamples+1)
+	}
+}
+
+// TestLatencyTrackerP95 pins the tracker's arithmetic.
+func TestLatencyTrackerP95(t *testing.T) {
+	var lt latencyTracker
+	if _, ok := lt.p95(); ok {
+		t.Fatal("empty tracker reported a p95")
+	}
+	for i := 1; i <= 20; i++ {
+		lt.observe(time.Duration(i) * time.Millisecond)
+	}
+	p, ok := lt.p95()
+	if !ok {
+		t.Fatal("warmed tracker reported no p95")
+	}
+	if p < 18*time.Millisecond || p > 20*time.Millisecond {
+		t.Fatalf("p95 = %v over 1..20ms, want 19ms±1", p)
+	}
+}

@@ -82,6 +82,12 @@ type Spec struct {
 	// key: the scheduler coalesces them into one micro-batch so shared
 	// setup (the profile fetch) is paid once. Empty = never batched.
 	BatchKey string `json:"batch_key,omitempty"`
+	// Deadline is the propagated absolute deadline (X-Request-Deadline):
+	// the scheduler fails the job with deadline_exceeded instead of
+	// starting it once the deadline has passed — executing work whose
+	// requester has given up is pure waste — and caps the execution
+	// context so a started job cannot overrun it either. Nil = none.
+	Deadline *time.Time `json:"deadline,omitempty"`
 	// Payload is the request body the executor will decode (the same
 	// struct the synchronous endpoint takes).
 	Payload json.RawMessage `json:"payload"`
@@ -123,6 +129,7 @@ type Job struct {
 	notBefore time.Time          // earliest dispatch time (retry backoff)
 	cancel    context.CancelFunc // cancels the running execution
 	done      chan struct{}      // closed on terminal
+	stalled   bool               // watchdog cancelled the run; settle requeues
 }
 
 // clone returns a persistence/wire-safe copy (shared immutable slices,
@@ -185,9 +192,18 @@ type Stats struct {
 	BatchedJobs uint64
 	MaxBatch    int
 	// Retries counts retryable-failure requeues; DrainRequeues counts
-	// jobs pushed back to queued by a drain deadline.
+	// jobs pushed back to queued by a drain deadline; StallRequeues
+	// counts jobs the watchdog cancelled and requeued; Expired counts
+	// jobs failed because their propagated deadline passed before they
+	// started.
 	Retries       uint64
 	DrainRequeues uint64
+	StallRequeues uint64
+	Expired       uint64
+	// OldestQueued is the age of the oldest still-queued job — the
+	// backlog-staleness signal /healthz reports. Zero when nothing is
+	// queued.
+	OldestQueued time.Duration
 	// RecoveredJobs / RecoveredRequeued describe the last boot: live
 	// jobs reconstructed, and how many were mid-run and went back to
 	// queued.
@@ -223,6 +239,8 @@ type Queue struct {
 	maxBatch    int
 	retries     uint64
 	drainReqs   uint64
+	stallReqs   uint64
+	expired     uint64
 	recovered   int
 	recoveredRq int
 	journalErrs uint64
@@ -453,6 +471,7 @@ func (q *Queue) terminalLocked(j *Job, st State, result json.RawMessage, fail *F
 	j.Failure = fail
 	j.reserved = false
 	j.cancel = nil
+	j.stalled = false
 	q.transitions[st]++
 	q.journalLocked(j)
 	close(j.done)
@@ -467,6 +486,7 @@ func (q *Queue) requeueLocked(j *Job, delay time.Duration) {
 	j.Requeues++
 	j.reserved = false
 	j.cancel = nil
+	j.stalled = false
 	if delay > 0 {
 		j.notBefore = q.now().Add(delay)
 	} else {
@@ -510,6 +530,8 @@ func (q *Queue) Stats() Stats {
 		MaxBatch:          q.maxBatch,
 		Retries:           q.retries,
 		DrainRequeues:     q.drainReqs,
+		StallRequeues:     q.stallReqs,
+		Expired:           q.expired,
 		RecoveredJobs:     q.recovered,
 		RecoveredRequeued: q.recoveredRq,
 		JournalErrors:     q.journalErrs,
@@ -518,10 +540,14 @@ func (q *Queue) Stats() Stats {
 	for s, n := range q.transitions {
 		st.Transitions[s] = n
 	}
+	now := q.now()
 	for _, j := range q.jobs {
 		switch j.State {
 		case StateQueued:
 			st.Queued++
+			if age := now.Sub(j.SubmittedAt); age > st.OldestQueued {
+				st.OldestQueued = age
+			}
 		case StateRunning:
 			st.Running++
 		case StateDone:

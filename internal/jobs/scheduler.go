@@ -3,11 +3,13 @@ package jobs
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"biasmit/internal/orchestrate"
+	"biasmit/internal/overload"
 )
 
 // ExecFunc executes one job and returns its result or failure. It must
@@ -37,6 +39,13 @@ type SchedulerOptions struct {
 	MaxBatch int
 	// Weights are the per-tenant fairness weights (default 1 each).
 	Weights map[string]int
+	// Watchdog, when set, heartbeats the dispatcher loop and every
+	// executing batch. A batch whose executor stops making progress
+	// (no heartbeat for the watchdog's stall threshold) gets a goroutine
+	// dump logged, its member contexts cancelled, and its jobs requeued
+	// — the self-healing path for runs wedged on a gray backend. Nil
+	// disables watching.
+	Watchdog *overload.Watchdog
 	// Now and After override the clock, for tests.
 	Now   func() time.Time
 	After func(d time.Duration) <-chan time.Time
@@ -127,16 +136,24 @@ func (s *Scheduler) isDraining() bool {
 // fairness policy, optionally hold it open for the batching window,
 // then hand it to the pool.
 func (s *Scheduler) dispatch() {
+	// The dispatcher heartbeats the watchdog every iteration and marks
+	// itself idle before blocking on an empty queue; a wedged dispatch
+	// loop (not an empty one) is what trips the stall detector.
+	task := s.opts.Watchdog.Register("jobs-dispatcher", s.stopDispatch)
+	defer task.Done()
 	for {
+		task.Beat()
 		// Hold a worker slot before picking: scheduling decisions (WRR
 		// slot, priority, batch coalescing) are made against the live
 		// queue as workers free up, and batches execute in pick order —
 		// the pool's semaphore never has to arbitrate.
+		task.Idle()
 		select {
 		case <-s.dispatchCtx.Done():
 			return
 		case s.slots <- struct{}{}:
 		}
+		task.Beat()
 		batch, wait := s.nextBatch()
 		if batch == nil {
 			<-s.slots
@@ -144,6 +161,7 @@ func (s *Scheduler) dispatch() {
 			if wait > 0 {
 				timer = s.opts.After(wait)
 			}
+			task.Idle()
 			select {
 			case <-s.dispatchCtx.Done():
 				return
@@ -155,12 +173,14 @@ func (s *Scheduler) dispatch() {
 		if batch[0].Spec.BatchKey != "" && s.opts.BatchWindow > 0 && len(batch) < s.opts.MaxBatch {
 			// Hold the batch open: compatible jobs arriving within the
 			// window ride along and share the batch's setup.
+			task.Idle()
 			select {
 			case <-s.dispatchCtx.Done():
 				s.releaseReserved(batch)
 				return
 			case <-s.opts.After(s.opts.BatchWindow):
 			}
+			task.Beat()
 			batch = append(batch, s.gather(batch[0].Spec.BatchKey, s.opts.MaxBatch-len(batch))...)
 		}
 		s.wg.Add(1)
@@ -308,8 +328,10 @@ func (s *Scheduler) runBatch(batch []*Job) {
 	}
 	q := s.q
 	var members []member
+	var cancels []context.CancelFunc
 	draining := s.isDraining()
 	q.mu.Lock()
+	now := s.opts.Now()
 	size := 0
 	for _, j := range batch {
 		switch {
@@ -320,11 +342,20 @@ func (s *Scheduler) runBatch(batch []*Job) {
 			// members straight back to queued for the next boot.
 			q.drainReqs++
 			q.requeueLocked(j, 0)
+		case j.Spec.Deadline != nil && now.After(*j.Spec.Deadline):
+			// The propagated deadline expired while the job sat queued:
+			// whoever asked has given up, so running it now is pure
+			// waste. Shed it as the typed failure the sync path returns.
+			q.expired++
+			q.terminalLocked(j, StateFailed, nil, &Failure{
+				Code:    "deadline_exceeded",
+				Message: "job deadline expired before execution started",
+				Status:  504,
+			})
 		default:
 			size++
 		}
 	}
-	now := s.opts.Now()
 	for _, j := range batch {
 		if j.State != StateQueued || !j.reserved {
 			continue
@@ -335,7 +366,12 @@ func (s *Scheduler) runBatch(batch []*Job) {
 		j.BatchSize = size
 		j.reserved = false
 		ctx, cancel := context.WithCancel(context.Background())
+		if j.Spec.Deadline != nil {
+			// The execution budget is the remaining propagated deadline.
+			ctx, cancel = context.WithDeadline(context.Background(), *j.Spec.Deadline)
+		}
 		j.cancel = cancel
+		cancels = append(cancels, cancel)
 		q.transitions[StateRunning]++
 		q.journalLocked(j)
 		members = append(members, member{j: j, ctx: ctx})
@@ -351,11 +387,41 @@ func (s *Scheduler) runBatch(batch []*Job) {
 	if len(members) == 0 {
 		return
 	}
+	defer func() {
+		// Release the deadline timers (terminalLocked/requeueLocked only
+		// drop the reference).
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	// The batch heartbeats between members; an executor that stops
+	// making progress trips the watchdog, which dumps goroutines, marks
+	// the still-running members stalled, and cancels their contexts so
+	// settle() requeues them instead of failing them.
+	wtask := s.opts.Watchdog.Register(fmt.Sprintf("jobs-batch %s", members[0].j.ID), func() {
+		q.mu.Lock()
+		var cut []context.CancelFunc
+		for _, m := range members {
+			if m.j.State == StateRunning {
+				m.j.stalled = true
+				if m.j.cancel != nil {
+					cut = append(cut, m.j.cancel)
+				}
+			}
+		}
+		q.mu.Unlock()
+		for _, c := range cut {
+			c()
+		}
+	})
+	defer wtask.Done()
 
 	if s.opts.Prepare != nil && members[0].j.Spec.BatchKey != "" {
 		s.opts.Prepare(members[0].ctx, members[0].j.Spec.BatchKey, len(members))
 	}
 	for _, m := range members {
+		wtask.Beat()
 		result, fail := s.opts.Exec(m.ctx, m.j.clone())
 		s.settle(m.j, result, fail)
 	}
@@ -374,6 +440,12 @@ func (s *Scheduler) settle(j *Job, result json.RawMessage, fail *Failure) {
 		q.terminalLocked(j, StateDone, result, nil)
 	case j.CancelRequested:
 		q.terminalLocked(j, StateCancelled, nil, nil)
+	case j.stalled:
+		// The watchdog cancelled a wedged run: the job did nothing
+		// wrong, so it goes back to the queue for a fresh attempt (the
+		// deterministic executor makes the re-run byte-identical).
+		q.stallReqs++
+		q.requeueLocked(j, 0)
 	case draining:
 		// The drain deadline cancelled the run; the work is not failed,
 		// just unfinished — back to queued, checkpointed for next boot.

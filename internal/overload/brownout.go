@@ -1,0 +1,148 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// Brownout tiers. The controller degrades mitigation quality instead of
+// availability, mirroring how Readout Rebalancing and Bit-flip Averaging
+// trade profiling cost for accuracy: a SIM answer now beats an AIM
+// answer that never arrives.
+const (
+	// TierFull serves the requested policy unmodified (AIM allowed).
+	TierFull = 0
+	// TierSIM downgrades AIM requests to SIM (no fresh
+	// characterization, cheaper inversion).
+	TierSIM = 1
+	// TierBaseline serves uncorrected counts only.
+	TierBaseline = 2
+)
+
+// TierName returns the wire label for a brownout tier.
+func TierName(tier int) string {
+	switch tier {
+	case TierFull:
+		return "full"
+	case TierSIM:
+		return "sim"
+	default:
+		return "baseline"
+	}
+}
+
+// Brownout steps mitigation quality down under sustained limiter
+// pressure and back up on recovery, with dwell-time hysteresis in both
+// directions so a single shed (or a single quiet moment) cannot flap the
+// tier. Observe(shed=true) marks pressure and resets the calm clock;
+// Observe(shed=false) marks calm and resets the pressure clock. Pressure
+// sustained for DwellDown steps the tier down one level; calm sustained
+// for DwellUp steps it back up one level, so recovery to full AIM takes
+// tier×DwellUp of proven-quiet serving.
+type Brownout struct {
+	dwellDown time.Duration
+	dwellUp   time.Duration
+	now       func() time.Time
+
+	mu            sync.Mutex
+	tier          int
+	pressureSince time.Time // zero when the last observation was calm
+	calmSince     time.Time // zero when the last observation was a shed
+	stepsDown     uint64
+	stepsUp       uint64
+}
+
+// BrownoutStats is a snapshot for /metrics.
+type BrownoutStats struct {
+	Tier      int
+	StepsDown uint64
+	StepsUp   uint64
+}
+
+// NewBrownout returns a controller at TierFull. A nil *Brownout pins
+// TierFull forever, so wiring is optional at every call site. now may be
+// nil for the wall clock.
+func NewBrownout(dwellDown, dwellUp time.Duration, now func() time.Time) *Brownout {
+	if dwellDown <= 0 {
+		dwellDown = 2 * time.Second
+	}
+	if dwellUp <= 0 {
+		dwellUp = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Brownout{dwellDown: dwellDown, dwellUp: dwellUp, now: now}
+}
+
+// Observe feeds one admission outcome (shed or served) into the
+// controller and applies any due tier transition.
+func (b *Brownout) Observe(shed bool) {
+	if b == nil {
+		return
+	}
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if shed {
+		b.calmSince = time.Time{}
+		if b.pressureSince.IsZero() {
+			b.pressureSince = now
+			return
+		}
+		if now.Sub(b.pressureSince) >= b.dwellDown && b.tier < TierBaseline {
+			b.tier++
+			b.stepsDown++
+			b.pressureSince = now // next step needs a fresh dwell
+		}
+		return
+	}
+	b.pressureSince = time.Time{}
+	if b.calmSince.IsZero() {
+		b.calmSince = now
+		return
+	}
+	if now.Sub(b.calmSince) >= b.dwellUp && b.tier > TierFull {
+		b.tier--
+		b.stepsUp++
+		b.calmSince = now
+	}
+}
+
+// Tier returns the current brownout tier. Safe on a nil controller.
+func (b *Brownout) Tier() int {
+	if b == nil {
+		return TierFull
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tier
+}
+
+// Stats snapshots the controller. Safe on a nil controller.
+func (b *Brownout) Stats() BrownoutStats {
+	if b == nil {
+		return BrownoutStats{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BrownoutStats{Tier: b.tier, StepsDown: b.stepsDown, StepsUp: b.stepsUp}
+}
+
+// Degrade maps a requested mitigation policy to the policy actually
+// served at the given tier: TierSIM downgrades "aim" to "sim";
+// TierBaseline downgrades both "aim" and "sim" to "baseline". Unknown
+// policies pass through untouched for the validator to reject.
+func Degrade(policy string, tier int) string {
+	switch tier {
+	case TierSIM:
+		if policy == "aim" {
+			return "sim"
+		}
+	case TierBaseline:
+		if policy == "aim" || policy == "sim" {
+			return "baseline"
+		}
+	}
+	return policy
+}

@@ -1,0 +1,59 @@
+package overload
+
+import "testing"
+
+func TestBudgetStartsFullThenThrottles(t *testing.T) {
+	b := NewBudget(0.1, 2)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("burst tokens should allow the first two retries")
+	}
+	if b.Allow() {
+		t.Fatal("empty bucket must deny")
+	}
+	s := b.Stats()
+	if s.Allowed != 2 || s.Denied != 1 {
+		t.Fatalf("stats = %+v, want 2 allowed / 1 denied", s)
+	}
+}
+
+func TestBudgetRatioMath(t *testing.T) {
+	b := NewBudget(0.1, 100)
+	// Drain the initial burst.
+	for b.Allow() {
+	}
+	// 10 fresh requests at ratio 0.1 buy exactly one retry.
+	for i := 0; i < 10; i++ {
+		b.OnRequest()
+	}
+	if !b.Allow() {
+		t.Fatal("10 fresh requests at ratio 0.1 should fund one retry")
+	}
+	if b.Allow() {
+		t.Fatal("second retry should be denied — budget is 10% of fresh traffic")
+	}
+}
+
+func TestBudgetBurstCap(t *testing.T) {
+	b := NewBudget(1, 3)
+	for i := 0; i < 100; i++ {
+		b.OnRequest()
+	}
+	n := 0
+	for b.Allow() {
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("allowed %d retries, want burst cap 3", n)
+	}
+}
+
+func TestBudgetNilAllowsEverything(t *testing.T) {
+	var b *Budget
+	b.OnRequest()
+	if !b.Allow() {
+		t.Fatal("nil budget must allow")
+	}
+	if s := b.Stats(); s.Allowed != 0 {
+		t.Fatalf("nil budget stats = %+v", s)
+	}
+}

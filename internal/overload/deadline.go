@@ -1,0 +1,48 @@
+package overload
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DeadlineHeader carries the absolute request deadline across process
+// boundaries so every hop works against the same wall-clock budget: the
+// client stamps it from its context, the server intersects it with its
+// own limits, the jobs scheduler persists it, and a hop that cannot
+// finish inside the remaining budget sheds immediately with a typed 503
+// instead of executing into a guaranteed timeout.
+const DeadlineHeader = "X-Request-Deadline"
+
+// FormatDeadline renders an absolute deadline for the wire
+// (RFC 3339 with nanoseconds, UTC).
+func FormatDeadline(t time.Time) string {
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+var errBadDeadline = errors.New("malformed deadline")
+
+// ParseDeadline accepts the formats real clients send: RFC 3339 (with or
+// without fractional seconds) or integer unix milliseconds. The zero
+// string is an error — callers treat an absent header as "no deadline"
+// before parsing.
+func ParseDeadline(s string) (time.Time, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return time.Time{}, errBadDeadline
+	}
+	if t, err := time.Parse(time.RFC3339Nano, s); err == nil {
+		return t, nil
+	}
+	if ms, err := strconv.ParseInt(s, 10, 64); err == nil && ms > 0 {
+		t := time.UnixMilli(ms).UTC()
+		// Bound to the RFC 3339 four-digit-year range so anything we
+		// accept survives a Format/Parse round trip.
+		if t.Year() > 9999 {
+			return time.Time{}, errBadDeadline
+		}
+		return t, nil
+	}
+	return time.Time{}, errBadDeadline
+}

@@ -1,0 +1,67 @@
+package overload
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestDeadlineRoundTrip(t *testing.T) {
+	want := time.Date(2026, 3, 14, 9, 26, 53, 589793238, time.UTC)
+	got, err := ParseDeadline(FormatDeadline(want))
+	if err != nil {
+		t.Fatalf("parse(format): %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("round trip = %v, want %v", got, want)
+	}
+}
+
+func TestDeadlineFormats(t *testing.T) {
+	if _, err := ParseDeadline("2026-03-14T09:26:53Z"); err != nil {
+		t.Fatalf("RFC3339 without fraction: %v", err)
+	}
+	ms := time.Date(2026, 3, 14, 9, 26, 53, 0, time.UTC).UnixMilli()
+	got, err := ParseDeadline(strconv.FormatInt(ms, 10))
+	if err != nil {
+		t.Fatalf("unix millis: %v", err)
+	}
+	if got.UnixMilli() != ms {
+		t.Fatalf("unix millis parsed to %v", got)
+	}
+	if _, err := ParseDeadline("  2026-03-14T09:26:53Z  "); err != nil {
+		t.Fatalf("surrounding whitespace: %v", err)
+	}
+}
+
+func TestDeadlineRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "  ", "soon", "-42", "0", "14:09", "2026-03-14"} {
+		if _, err := ParseDeadline(s); err == nil {
+			t.Errorf("ParseDeadline(%q) accepted garbage", s)
+		}
+	}
+}
+
+// FuzzParseDeadline asserts the parser never panics and that everything
+// it accepts survives a format/parse round trip.
+func FuzzParseDeadline(f *testing.F) {
+	f.Add("2026-03-14T09:26:53.589793238Z")
+	f.Add("2026-03-14T09:26:53Z")
+	f.Add("1773480413589")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("9223372036854775807")
+	f.Fuzz(func(t *testing.T, s string) {
+		parsed, err := ParseDeadline(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseDeadline(FormatDeadline(parsed))
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its canonical form: %v", s, err)
+		}
+		if !again.Equal(parsed) {
+			t.Fatalf("round trip drifted: %v != %v (input %q)", again, parsed, s)
+		}
+	})
+}

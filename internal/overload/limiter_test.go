@@ -1,0 +1,343 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock shared by the limiter tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// neverFire is an After that never delivers, for tests that must not hit
+// the queue timeout.
+func neverFire(time.Duration) <-chan time.Time { return make(chan time.Time) }
+
+func TestLimiterAdmitsUnderLimit(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 2, After: neverFire})
+	ctx := context.Background()
+	r1, err := l.Acquire(ctx, ClassMitigate)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	r2, err := l.Acquire(ctx, ClassMitigate)
+	if err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if got := l.Stats().Inflight; got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+	r1()
+	r1() // release is once-only
+	r2()
+	if got := l.Stats().Inflight; got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+}
+
+func TestLimiterNilAdmitsEverything(t *testing.T) {
+	var l *Limiter
+	release, err := l.Acquire(context.Background(), ClassJobs)
+	if err != nil {
+		t.Fatalf("nil limiter acquire: %v", err)
+	}
+	release()
+	if s := l.Stats(); s.Inflight != 0 {
+		t.Fatalf("nil limiter stats = %+v", s)
+	}
+}
+
+func TestLimiterQueueTimeoutSheds(t *testing.T) {
+	fire := make(chan time.Time)
+	l := NewLimiter(LimiterConfig{
+		Initial: 1,
+		After:   func(time.Duration) <-chan time.Time { return fire },
+	})
+	hold, err := l.Acquire(context.Background(), ClassMitigate)
+	if err != nil {
+		t.Fatalf("holder acquire: %v", err)
+	}
+	defer hold()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(context.Background(), ClassMitigate)
+		errc <- err
+	}()
+	waitQueued(t, l, 1)
+	fire <- time.Time{}
+
+	err = <-errc
+	var oe *Error
+	if !errors.As(err, &oe) {
+		t.Fatalf("queued acquire: got %v (%T), want *overload.Error", err, err)
+	}
+	if oe.Reason != "queue_timeout" || oe.RetryAfter <= 0 {
+		t.Fatalf("shed error = %+v, want queue_timeout with Retry-After", oe)
+	}
+	if s := l.Stats(); s.Timeouts[ClassMitigate] != 1 || s.Queued != 0 {
+		t.Fatalf("stats = %+v, want one mitigate timeout and empty queue", s)
+	}
+}
+
+func TestLimiterAdmitsHighestClassFirst(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 1, After: neverFire})
+	hold, err := l.Acquire(context.Background(), ClassMitigate)
+	if err != nil {
+		t.Fatalf("holder acquire: %v", err)
+	}
+
+	order := make(chan Class, 2)
+	var wg sync.WaitGroup
+	enqueue := func(c Class) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := l.Acquire(context.Background(), c)
+			if err != nil {
+				t.Errorf("class %s acquire: %v", c, err)
+				return
+			}
+			order <- c
+			release()
+		}()
+	}
+	enqueue(ClassJobs)
+	waitQueued(t, l, 1)
+	enqueue(ClassCharacterize)
+	waitQueued(t, l, 2)
+
+	hold()
+	wg.Wait()
+	if first := <-order; first != ClassCharacterize {
+		t.Fatalf("first admitted class = %s, want characterize (jobs shed first, characterize served first)", first)
+	}
+}
+
+func TestLimiterEvictsLowerClassWhenFull(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 1, MaxQueue: 1, After: neverFire})
+	hold, err := l.Acquire(context.Background(), ClassMitigate)
+	if err != nil {
+		t.Fatalf("holder acquire: %v", err)
+	}
+
+	jobsErr := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(context.Background(), ClassJobs)
+		jobsErr <- err
+	}()
+	waitQueued(t, l, 1)
+
+	// Queue is full; a characterize arrival must displace the queued job.
+	charDone := make(chan error, 1)
+	go func() {
+		release, err := l.Acquire(context.Background(), ClassCharacterize)
+		if err == nil {
+			defer release()
+		}
+		charDone <- err
+	}()
+
+	err = <-jobsErr
+	var oe *Error
+	if !errors.As(err, &oe) || oe.Reason != "queue_full" {
+		t.Fatalf("evicted job: got %v, want overloaded queue_full", err)
+	}
+
+	hold()
+	if err := <-charDone; err != nil {
+		t.Fatalf("characterize after eviction: %v", err)
+	}
+	if s := l.Stats(); s.Evictions != 1 || s.Shed[ClassJobs] != 1 {
+		t.Fatalf("stats = %+v, want one eviction charged to jobs", s)
+	}
+
+}
+
+func TestLimiterShedsSameClassWhenFull(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 1, MaxQueue: 1, After: neverFire})
+	hold, err := l.Acquire(context.Background(), ClassJobs)
+	if err != nil {
+		t.Fatalf("holder acquire: %v", err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		release, err := l.Acquire(context.Background(), ClassJobs)
+		if err == nil {
+			release()
+		}
+		queued <- err
+	}()
+	waitQueued(t, l, 1)
+
+	// Same class cannot evict an equal: shed outright, synchronously.
+	_, err = l.Acquire(context.Background(), ClassJobs)
+	var oe *Error
+	if !errors.As(err, &oe) || oe.Reason != "queue_full" {
+		t.Fatalf("full-queue acquire: got %v, want overloaded queue_full", err)
+	}
+	hold()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued job after release: %v", err)
+	}
+}
+
+func TestLimiterContextCancelWhileQueued(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 1, After: neverFire})
+	hold, err := l.Acquire(context.Background(), ClassMitigate)
+	if err != nil {
+		t.Fatalf("holder acquire: %v", err)
+	}
+	defer hold()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(ctx, ClassMitigate)
+		errc <- err
+	}()
+	waitQueued(t, l, 1)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire: %v, want context.Canceled", err)
+	}
+	if got := l.Stats().Queued; got != 0 {
+		t.Fatalf("queued after cancel = %d, want 0", got)
+	}
+}
+
+func TestLimiterAIMD(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{
+		Initial: 2, Min: 1, Max: 8, Window: 4, Tolerance: 2,
+		Now: clock.Now, After: neverFire,
+	})
+	run := func(latency time.Duration) {
+		release, err := l.Acquire(context.Background(), ClassMitigate)
+		if err != nil {
+			t.Fatalf("acquire: %v", err)
+		}
+		clock.Advance(latency)
+		release()
+	}
+
+	// One healthy window: avg == baseline, additive increase.
+	for i := 0; i < 4; i++ {
+		run(time.Millisecond)
+	}
+	if got := l.Stats().Limit; got != 3 {
+		t.Fatalf("limit after healthy window = %v, want 3", got)
+	}
+
+	// One congested window: avg 10ms over a ~1ms baseline, back off.
+	for i := 0; i < 4; i++ {
+		run(10 * time.Millisecond)
+	}
+	s := l.Stats()
+	if s.Limit >= 3 {
+		t.Fatalf("limit after congested window = %v, want multiplicative decrease below 3", s.Limit)
+	}
+	if s.AdjustUp != 1 || s.AdjustDown != 1 {
+		t.Fatalf("adjustments = up %d down %d, want 1 and 1", s.AdjustUp, s.AdjustDown)
+	}
+
+	// Recovery: healthy windows grow the limit back (min-latency
+	// baseline is sticky, so fast requests read as healthy again).
+	for i := 0; i < 8; i++ {
+		run(time.Millisecond)
+	}
+	if got := l.Stats().Limit; got <= s.Limit {
+		t.Fatalf("limit after recovery = %v, want growth above %v", got, s.Limit)
+	}
+}
+
+func TestLimiterLimitRespectsFloorAndCeiling(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{
+		Initial: 2, Min: 1, Max: 3, Window: 2, Tolerance: 2,
+		Now: clock.Now, After: neverFire,
+	})
+	run := func(latency time.Duration) {
+		release, err := l.Acquire(context.Background(), ClassMitigate)
+		if err != nil {
+			t.Fatalf("acquire: %v", err)
+		}
+		clock.Advance(latency)
+		release()
+	}
+	for i := 0; i < 20; i++ {
+		run(time.Millisecond)
+	}
+	if got := l.Stats().Limit; got != 3 {
+		t.Fatalf("limit = %v, want pinned at Max 3", got)
+	}
+	for i := 0; i < 40; i++ {
+		run(50 * time.Millisecond)
+	}
+	if got := l.Stats().Limit; got < 1 {
+		t.Fatalf("limit = %v, want >= Min 1", got)
+	}
+}
+
+func TestLimiterConcurrentStress(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 4, Max: 8, Window: 8, QueueTimeout: 50 * time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(class Class) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				release, err := l.Acquire(context.Background(), class)
+				if err != nil {
+					var oe *Error
+					if !errors.As(err, &oe) {
+						t.Errorf("acquire: %v", err)
+					}
+					continue
+				}
+				release()
+			}
+		}(Class(g % numClasses))
+	}
+	wg.Wait()
+	if got := l.Stats().Inflight; got != 0 {
+		t.Fatalf("inflight after stress = %d, want 0", got)
+	}
+	if got := l.Stats().Queued; got != 0 {
+		t.Fatalf("queued after stress = %d, want 0", got)
+	}
+}
+
+// waitQueued polls until the limiter reports n queued waiters.
+func waitQueued(t *testing.T, l *Limiter, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if l.Stats().Queued == n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never reached %d waiters (stats %+v)", n, l.Stats())
+}

@@ -1,0 +1,118 @@
+package overload
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type logCapture struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *logCapture) logf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+func (l *logCapture) joined() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return strings.Join(l.lines, "\n")
+}
+
+func TestWatchdogFiresOnStall(t *testing.T) {
+	clock := newFakeClock()
+	logs := &logCapture{}
+	w := NewWatchdog(time.Second, 10*time.Second, logs.logf)
+	w.SetNow(clock.Now)
+
+	cancelled := make(chan struct{}, 4)
+	task := w.Register("worker-1", func() { cancelled <- struct{}{} })
+
+	// Fresh heartbeat: no fire.
+	w.Sweep()
+	if len(cancelled) != 0 {
+		t.Fatal("watchdog fired on a fresh task")
+	}
+
+	// Stale heartbeat: dump + cancel, exactly once until the next beat.
+	clock.Advance(11 * time.Second)
+	w.Sweep()
+	w.Sweep()
+	if got := len(cancelled); got != 1 {
+		t.Fatalf("cancel fired %d times, want exactly 1", got)
+	}
+	if s := w.Stats(); s.Stalls != 1 || s.Tasks != 1 {
+		t.Fatalf("stats = %+v, want 1 stall / 1 task", s)
+	}
+	dump := logs.joined()
+	if !strings.Contains(dump, `task "worker-1" stalled`) {
+		t.Fatalf("log missing stall line:\n%s", dump)
+	}
+	if !strings.Contains(dump, "goroutine ") {
+		t.Fatalf("log missing goroutine dump:\n%s", dump)
+	}
+
+	// A beat re-arms detection.
+	task.Beat()
+	clock.Advance(11 * time.Second)
+	w.Sweep()
+	if got := len(cancelled); got != 2 {
+		t.Fatalf("cancel fired %d times after re-arm, want 2", got)
+	}
+
+	task.Done()
+	if s := w.Stats(); s.Tasks != 0 {
+		t.Fatalf("tasks after Done = %d, want 0", s.Tasks)
+	}
+}
+
+func TestWatchdogIdleTasksNeverStall(t *testing.T) {
+	clock := newFakeClock()
+	w := NewWatchdog(time.Second, 10*time.Second, nil)
+	w.SetNow(clock.Now)
+	fired := false
+	task := w.Register("dispatcher", func() { fired = true })
+	task.Idle()
+	clock.Advance(time.Hour)
+	w.Sweep()
+	if fired {
+		t.Fatal("idle task declared stalled")
+	}
+	// Waking up re-enables detection.
+	task.Beat()
+	clock.Advance(11 * time.Second)
+	w.Sweep()
+	if !fired {
+		t.Fatal("post-idle stall not detected")
+	}
+	task.Done()
+}
+
+func TestWatchdogStartStop(t *testing.T) {
+	w := NewWatchdog(time.Millisecond, time.Hour, nil)
+	w.Start()
+	w.Start() // idempotent
+	time.Sleep(5 * time.Millisecond)
+	w.Stop()
+	w.Stop() // idempotent
+}
+
+func TestWatchdogNil(t *testing.T) {
+	var w *Watchdog
+	w.Start()
+	task := w.Register("x", nil)
+	task.Beat()
+	task.Idle()
+	task.Done()
+	w.Sweep()
+	w.Stop()
+	if s := w.Stats(); s.Tasks != 0 {
+		t.Fatalf("nil watchdog stats = %+v", s)
+	}
+}

@@ -1,10 +1,12 @@
 package persist
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // WriteFileAtomic writes a file via a temporary sibling and a rename, so
@@ -40,12 +42,33 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("persist: renaming into %s: %w", path, err)
 	}
-	// Sync the directory so the rename itself survives a crash — without
-	// this the file contents are durable but the name pointing at them
-	// may not be. Best effort on filesystems that refuse directory syncs.
-	if d, derr := os.Open(dir); derr == nil {
-		_ = d.Sync()
-		d.Close()
+	// Sync the directory so the rename itself survives a crash. The file
+	// contents were fsynced above, but on ext4-ordered (and most journaled
+	// filesystems) the directory entry pointing at them is separate
+	// metadata: a crash right after a checkpoint rename can otherwise
+	// replay to a directory that has no such file. This is a hard error —
+	// a checkpoint whose name may evaporate is not a checkpoint.
+	if err = SyncDir(dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory so renames and creations inside it are
+// durable. Filesystems that do not support directory fsync (some network
+// and FUSE mounts return EINVAL or ENOTSUP) are tolerated — there is
+// nothing more userspace can do there — but real I/O errors are not.
+func SyncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: opening directory %s for sync: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("persist: syncing directory %s: %w", dir, err)
 	}
 	return nil
 }

@@ -96,3 +96,15 @@ func TestWriteFileAtomicBadDirectory(t *testing.T) {
 		t.Fatal("expected an error for a missing destination directory")
 	}
 }
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("syncing a real directory: %v", err)
+	}
+	if err := SyncDir(""); err != nil {
+		t.Fatalf("empty dir must mean cwd: %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("syncing a missing directory must fail")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -115,9 +116,21 @@ type WAL struct {
 // aborts the open — see replayWAL for why that is not treated as a torn
 // tail.
 func OpenWAL(path string, apply func(payload []byte) error) (*WAL, WALReplay, error) {
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, WALReplay{}, fmt.Errorf("persist: opening WAL %s: %w", path, err)
+	}
+	if created {
+		// Make the new log's directory entry durable up front: records are
+		// fsynced on every Append, but on ext4-ordered mounts the file
+		// itself could vanish in a crash if the directory was never synced,
+		// losing every committed record with it.
+		if err := SyncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, WALReplay{}, err
+		}
 	}
 	data, err := io.ReadAll(f)
 	if err != nil {

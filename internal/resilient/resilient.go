@@ -73,6 +73,13 @@ type Policy struct {
 	Machine string
 	// Sleep overrides the backoff sleep, for tests. It must honour ctx.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// RetryAllow, when set, is consulted before every retry (attempts
+	// after the first). Returning false surfaces the last transient
+	// error instead of retrying — the hook the shared token-bucket
+	// retry budget (internal/overload.Budget) plugs in so that under a
+	// sick backend the fleet's retries stay a bounded fraction of fresh
+	// traffic instead of amplifying the outage.
+	RetryAllow func() bool
 	// Metrics, when set, receives the executor's counters; several
 	// executors may share one Metrics.
 	Metrics *Metrics
@@ -88,6 +95,7 @@ type Metrics struct {
 	SalvagedSlices    atomic.Uint64 // completed slices carried across a retry
 	SalvagedShots     atomic.Uint64 // trials those slices contained
 	BreakerRejections atomic.Uint64 // runs refused by an open breaker
+	BudgetDenials     atomic.Uint64 // retries suppressed by the retry budget
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics for rendering.
@@ -99,6 +107,7 @@ type MetricsSnapshot struct {
 	SalvagedSlices    uint64
 	SalvagedShots     uint64
 	BreakerRejections uint64
+	BudgetDenials     uint64
 }
 
 // Snapshot copies the counters.
@@ -114,6 +123,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		SalvagedSlices:    m.SalvagedSlices.Load(),
 		SalvagedShots:     m.SalvagedShots.Load(),
 		BreakerRejections: m.BreakerRejections.Load(),
+		BudgetDenials:     m.BudgetDenials.Load(),
 	}
 }
 
@@ -271,6 +281,15 @@ func (e *Executor) Run(ctx context.Context, c *circuit.Circuit, dev *device.Devi
 			return merged, nil
 		}
 		if !IsTransient(lastErr) || attempt == e.policy.MaxAttempts {
+			break
+		}
+		// The retry budget has the last word: no tokens, no retry. The
+		// transient error surfaces to the caller (still typed retryable),
+		// shifting the retry decision to whoever holds budget.
+		if e.policy.RetryAllow != nil && !e.policy.RetryAllow() {
+			if m != nil {
+				m.BudgetDenials.Add(1)
+			}
 			break
 		}
 		// Credit the trials that survived this failed attempt: they are

@@ -269,3 +269,41 @@ func TestContextCancellationDoesNotChargeBreaker(t *testing.T) {
 		t.Fatalf("breaker state %q: a caller cancellation is not machine failure", br.State())
 	}
 }
+
+func TestRetryAllowDeniedSurfacesTransient(t *testing.T) {
+	r := &scriptRunner{fail: map[int]bool{0: true}}
+	m := &Metrics{}
+	denied := 0
+	ex := New(r.run, Policy{
+		MaxAttempts: 4, Sleep: noSleep, Metrics: m,
+		RetryAllow: func() bool { denied++; return false },
+	})
+	_, err := ex.Run(context.Background(), probeCircuit(), device.IBMQX2(), runOpts(100))
+	if !IsTransient(err) {
+		t.Fatalf("error = %v, want the transient error surfaced un-retried", err)
+	}
+	if r.callCount() != 1 {
+		t.Fatalf("calls = %d, want 1 (budget denied the retry)", r.callCount())
+	}
+	if denied != 1 {
+		t.Fatalf("RetryAllow consulted %d times, want 1", denied)
+	}
+	if s := m.Snapshot(); s.BudgetDenials != 1 || s.Retries != 0 {
+		t.Fatalf("metrics = %+v, want one budget denial and zero retries", s)
+	}
+}
+
+func TestRetryAllowGrantedRetries(t *testing.T) {
+	r := &scriptRunner{fail: map[int]bool{0: true}}
+	ex := New(r.run, Policy{
+		MaxAttempts: 4, Sleep: noSleep,
+		RetryAllow: func() bool { return true },
+	})
+	counts, err := ex.Run(context.Background(), probeCircuit(), device.IBMQX2(), runOpts(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.Total() != 100 || r.callCount() != 2 {
+		t.Fatalf("total = %d calls = %d, want 100 over 2 calls", counts.Total(), r.callCount())
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"biasmit/internal/api"
 	"biasmit/internal/backend"
+	"biasmit/internal/overload"
 	"biasmit/internal/resilient"
 )
 
@@ -26,6 +27,7 @@ const (
 	CodeProfileStale      = api.CodeProfileStale
 	CodeDeadlineExceeded  = api.CodeDeadlineExceeded
 	CodeBreakerOpen       = api.CodeBreakerOpen
+	CodeOverloaded        = api.CodeOverloaded
 	CodeUpstreamTransient = api.CodeUpstreamTransient
 	CodeCanceled          = api.CodeCanceled
 	CodeMethodNotAllowed  = api.CodeMethodNotAllowed
@@ -71,6 +73,14 @@ func toAPIError(err error) *APIError {
 	if errors.As(err, &boe) {
 		out := apiErrorf(http.StatusServiceUnavailable, CodeBreakerOpen, "%v", boe)
 		out.RetryAfter = boe.RetryAfter
+		return out
+	}
+	var oe *overload.Error
+	if errors.As(err, &oe) {
+		// Shed by admission control: the typed 503 carries Retry-After so
+		// well-behaved clients back off instead of hammering.
+		out := apiErrorf(http.StatusServiceUnavailable, api.CodeOverloaded, "%v", oe)
+		out.RetryAfter = oe.RetryAfter
 		return out
 	}
 	var be *backend.BudgetError

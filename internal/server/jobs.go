@@ -12,6 +12,7 @@ import (
 
 	"biasmit/internal/api"
 	"biasmit/internal/jobs"
+	"biasmit/internal/overload"
 	"biasmit/internal/profilestore"
 )
 
@@ -107,6 +108,19 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		Tenant:      tenantKey(r),
 		Priority:    req.Priority,
 		MaxAttempts: req.MaxAttempts,
+	}
+	// Deadline propagation: a caller's X-Request-Deadline rides into the
+	// persisted spec, so the scheduler sheds the job the moment its
+	// budget lapses — even across a crash and recovery — instead of
+	// burning a worker on an answer nobody is waiting for.
+	if h := r.Header.Get(overload.DeadlineHeader); h != "" {
+		dl, err := overload.ParseDeadline(h)
+		if err != nil {
+			writeError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+				"bad %s header %q: %v", overload.DeadlineHeader, h, err))
+			return
+		}
+		spec.Deadline = &dl
 	}
 	switch req.Type {
 	case api.JobTypeMitigate:
@@ -250,6 +264,10 @@ func (s *Server) prepareBatch(ctx context.Context, key string, size int) {
 // seeds are in the payload — which is what makes crash-recovery re-runs
 // byte-identical.
 func (s *Server) execJob(ctx context.Context, j jobs.Job) (json.RawMessage, *jobs.Failure) {
+	// Async work is the first class shed under overload: its callers
+	// already chose to wait, so an admission retry later beats competing
+	// with interactive requests now.
+	ctx = overload.WithClass(ctx, overload.ClassJobs)
 	var (
 		result any
 		err    error
@@ -298,7 +316,7 @@ func jobFailure(err error) *jobs.Failure {
 	ae := toAPIError(err)
 	f := &jobs.Failure{Code: ae.Code, Message: ae.Message, Status: ae.Status}
 	switch ae.Code {
-	case CodeUpstreamTransient, CodeBreakerOpen:
+	case CodeUpstreamTransient, CodeBreakerOpen, CodeOverloaded:
 		f.Retryable = true
 		f.RetryAfterMS = ae.RetryAfter.Milliseconds()
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"biasmit/internal/jobs"
+	"biasmit/internal/overload"
 	"biasmit/internal/profilestore"
 	"biasmit/internal/resilient"
 )
@@ -260,4 +261,64 @@ func (m *metricsRegistry) write(w io.Writer, cache profilestore.Stats, runs resi
 		fmt.Fprintf(w, "biasmitd_breaker_transitions_total{machine=%q,to=\"half-open\"} %d\n", b.machine, b.stats.HalfOpened)
 		fmt.Fprintf(w, "biasmitd_breaker_transitions_total{machine=%q,to=\"closed\"} %d\n", b.machine, b.stats.Closed)
 	}
+	counter("biasmitd_retry_budget_denials_total", "Backend retries blocked by the shared retry budget.", runs.BudgetDenials)
+}
+
+// writeOverloadMetrics renders the overload-control subsystem: the
+// adaptive limiter's ceiling and per-class admission counters, the
+// retry budget's token level, brownout tier transitions, and watchdog
+// stall recoveries. Written after the registry block by /metrics.
+func (s *Server) writeOverloadMetrics(w io.Writer) {
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	enabled := int64(0)
+	if s.limiter != nil {
+		enabled = 1
+	}
+	gauge("biasmitd_overload_limiter_enabled", "1 when the adaptive concurrency limiter gates admissions.", enabled)
+	if s.limiter != nil {
+		ls := s.limiter.Stats()
+		fmt.Fprintln(w, "# HELP biasmitd_overload_limit Current adaptive in-flight ceiling.")
+		fmt.Fprintln(w, "# TYPE biasmitd_overload_limit gauge")
+		fmt.Fprintf(w, "biasmitd_overload_limit %g\n", ls.Limit)
+		gauge("biasmitd_overload_inflight", "Requests currently holding an admission slot.", int64(ls.Inflight))
+		gauge("biasmitd_overload_queued", "Requests waiting in the admission queue.", int64(ls.Queued))
+		fmt.Fprintln(w, "# HELP biasmitd_overload_admissions_total Requests admitted, by priority class.")
+		fmt.Fprintln(w, "# TYPE biasmitd_overload_admissions_total counter")
+		for c := overload.ClassJobs; c <= overload.ClassCharacterize; c++ {
+			fmt.Fprintf(w, "biasmitd_overload_admissions_total{class=%q} %d\n", c.String(), ls.Admitted[c])
+		}
+		fmt.Fprintln(w, "# HELP biasmitd_overload_sheds_total Requests shed by admission control, by priority class.")
+		fmt.Fprintln(w, "# TYPE biasmitd_overload_sheds_total counter")
+		for c := overload.ClassJobs; c <= overload.ClassCharacterize; c++ {
+			fmt.Fprintf(w, "biasmitd_overload_sheds_total{class=%q} %d\n", c.String(), ls.Shed[c])
+		}
+		fmt.Fprintln(w, "# HELP biasmitd_overload_queue_timeouts_total Queued requests shed at the CoDel queue timeout, by priority class.")
+		fmt.Fprintln(w, "# TYPE biasmitd_overload_queue_timeouts_total counter")
+		for c := overload.ClassJobs; c <= overload.ClassCharacterize; c++ {
+			fmt.Fprintf(w, "biasmitd_overload_queue_timeouts_total{class=%q} %d\n", c.String(), ls.Timeouts[c])
+		}
+		counter("biasmitd_overload_limit_raises_total", "Adaptive-limit increases (latency at baseline).", ls.AdjustUp)
+		counter("biasmitd_overload_limit_cuts_total", "Adaptive-limit multiplicative decreases (latency inflated).", ls.AdjustDown)
+		counter("biasmitd_overload_evictions_total", "Queued low-class waiters displaced by higher-class arrivals.", ls.Evictions)
+	}
+	if s.budget != nil {
+		bs := s.budget.Stats()
+		fmt.Fprintln(w, "# HELP biasmitd_retry_budget_tokens Retry tokens currently available.")
+		fmt.Fprintln(w, "# TYPE biasmitd_retry_budget_tokens gauge")
+		fmt.Fprintf(w, "biasmitd_retry_budget_tokens %g\n", bs.Tokens)
+		counter("biasmitd_retry_budget_allowed_total", "Retries the budget admitted.", bs.Allowed)
+		counter("biasmitd_retry_budget_denied_total", "Retries the budget refused.", bs.Denied)
+	}
+	br := s.brown.Stats()
+	gauge("biasmitd_brownout_tier", "Current brownout tier (0 full, 1 sim, 2 baseline).", int64(br.Tier))
+	counter("biasmitd_brownout_steps_down_total", "Brownout tier degradations under admission pressure.", br.StepsDown)
+	counter("biasmitd_brownout_steps_up_total", "Brownout tier recoveries after sustained calm.", br.StepsUp)
+	ws := s.watchdog.Stats()
+	gauge("biasmitd_watchdog_tasks", "Loops and batches currently heartbeating the watchdog.", int64(ws.Tasks))
+	counter("biasmitd_watchdog_stalls_total", "Stalled tasks the watchdog cancelled and requeued.", ws.Stalls)
 }

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"biasmit/internal/api"
+	"biasmit/internal/backend"
+	"biasmit/internal/circuit"
+	"biasmit/internal/device"
+	"biasmit/internal/dist"
+	"biasmit/internal/jobs"
+	"biasmit/internal/overload"
+)
+
+// postJSONHeaders is postJSON with request headers.
+func postJSONHeaders(t *testing.T, url string, body any, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestServedPolicyEchoesWithoutBrownout: every mitigate response says
+// what actually ran; with no brownout that is the requested policy at
+// tier 0.
+func TestServedPolicyEchoesWithoutBrownout(t *testing.T) {
+	_, ts := testServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/mitigate", MitigateRequest{
+		Machine: "ibmqx4", Policy: "baseline", Benchmark: "bv-4A", Shots: 128, Seed: 3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out MitigateResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ServedPolicy != "baseline" || out.BrownoutTier != overload.TierFull {
+		t.Fatalf("served=%q tier=%d, want baseline at tier 0", out.ServedPolicy, out.BrownoutTier)
+	}
+}
+
+// TestBrownoutServesSIMForAIM: with the brownout controller one tier
+// down, an AIM request runs the cheaper SIM policy and the response
+// says so — requested policy, served policy, and tier all visible.
+func TestBrownoutServesSIMForAIM(t *testing.T) {
+	s := New(Config{
+		Workers: 2, MaxJobs: 2, ProfileShots: 64, MaxShots: 1 << 16, ProfileTTL: time.Hour,
+		Brownout: true, BrownoutDwellDown: time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Step the controller down: sustained shedding past the dwell.
+	s.brown.Observe(true)
+	time.Sleep(10 * time.Millisecond)
+	s.brown.Observe(true)
+	if tier := s.brown.Tier(); tier != overload.TierSIM {
+		t.Fatalf("tier = %d after sustained pressure, want %d", tier, overload.TierSIM)
+	}
+
+	resp, data := postJSON(t, ts.URL+"/v1/mitigate", MitigateRequest{
+		Machine: "ibmqx4", Policy: "aim", Benchmark: "bv-4A", Shots: 128, Seed: 3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out MitigateResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Policy != "aim" || out.ServedPolicy != "sim" || out.BrownoutTier != overload.TierSIM {
+		t.Fatalf("policy=%q served=%q tier=%d, want aim served as sim at tier 1",
+			out.Policy, out.ServedPolicy, out.BrownoutTier)
+	}
+	if out.Profile != nil {
+		t.Fatalf("degraded SIM run still fetched an AIM profile: %s", data)
+	}
+}
+
+// blockingRuns wraps the backend so every run parks until release is
+// closed — a saturated fleet for admission tests.
+type blockingRuns struct {
+	mu      sync.Mutex
+	release chan struct{}
+	entered chan struct{}
+}
+
+func (b *blockingRuns) wrap(run backend.Runner) backend.Runner {
+	return func(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt backend.Options) (*dist.Counts, error) {
+		b.mu.Lock()
+		entered := b.entered
+		b.entered = nil // signal first entry only
+		b.mu.Unlock()
+		if entered != nil {
+			close(entered)
+		}
+		select {
+		case <-b.release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return run(ctx, c, dev, opt)
+	}
+}
+
+// TestAdaptiveLimiterShedsTyped503: with the adaptive limiter on and
+// capacity saturated, excess requests are shed after the CoDel queue
+// timeout with the typed overloaded error and a Retry-After header —
+// not queued behind the stuck work.
+func TestAdaptiveLimiterShedsTyped503(t *testing.T) {
+	blocker := &blockingRuns{release: make(chan struct{}), entered: make(chan struct{})}
+	entered := blocker.entered
+	cfg := Config{
+		Workers: 1, MaxJobs: 1, ProfileShots: 64, MaxShots: 1 << 16, ProfileTTL: time.Hour,
+		AutoInflight: true, QueueTimeout: 5 * time.Millisecond,
+	}
+	cfg.wrapRun = blocker.wrap
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	var once sync.Once
+	release := func() { once.Do(func() { close(blocker.release) }) }
+	t.Cleanup(release)
+
+	req := MitigateRequest{Machine: "ibmqx4", Policy: "baseline", Benchmark: "bv-4A", Shots: 128, Seed: 3}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postJSON(t, ts.URL+"/v1/mitigate", req)
+	}()
+	<-entered // the slot-holder is inside the backend, parked
+
+	start := time.Now()
+	resp, data := postJSON(t, ts.URL+"/v1/mitigate", req)
+	waited := time.Since(start)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	ae := decodeError(t, data)
+	if ae.Code != api.CodeOverloaded {
+		t.Fatalf("code %q, want %q", ae.Code, api.CodeOverloaded)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	// Shed, not queued: the wait is the queue timeout, far under the
+	// slot-holder's park time.
+	if waited > 2*time.Second {
+		t.Fatalf("shed took %v — request queued behind stuck work", waited)
+	}
+	if st := s.limiter.Stats(); st.Timeouts[overload.ClassMitigate] == 0 {
+		t.Fatalf("limiter stats %+v recorded no mitigate queue-timeout shed", st)
+	}
+
+	release()
+	<-done
+}
+
+// TestDeadlineHeaderShedsExpiredBudget: a request whose propagated
+// deadline already lapsed is refused up front with the typed overload
+// error; a malformed header is the caller's mistake.
+func TestDeadlineHeaderShedsExpiredBudget(t *testing.T) {
+	_, ts := testServer(t)
+	req := MitigateRequest{Machine: "ibmqx4", Policy: "baseline", Benchmark: "bv-4A", Shots: 128, Seed: 3}
+
+	past := overload.FormatDeadline(time.Now().Add(-time.Second))
+	resp, data := postJSONHeaders(t, ts.URL+"/v1/mitigate", req, map[string]string{overload.DeadlineHeader: past})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d for expired budget: %s", resp.StatusCode, data)
+	}
+	if ae := decodeError(t, data); ae.Code != api.CodeOverloaded {
+		t.Fatalf("code %q, want %q", ae.Code, api.CodeOverloaded)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("expired-budget shed missing Retry-After")
+	}
+
+	resp, data = postJSONHeaders(t, ts.URL+"/v1/mitigate", req, map[string]string{overload.DeadlineHeader: "not-a-time"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d for malformed header: %s", resp.StatusCode, data)
+	}
+}
+
+// TestJobSubmitPersistsDeadline: the header rides into the durable job
+// spec so the scheduler (even post-recovery) can expire it.
+func TestJobSubmitPersistsDeadline(t *testing.T) {
+	s, ts := testServer(t)
+	dl := time.Now().Add(time.Hour).UTC().Truncate(time.Millisecond)
+	resp, data := postJSONHeaders(t, ts.URL+"/v1/jobs", api.JobSubmitRequest{
+		Type: api.JobTypeMitigate,
+		Mitigate: &MitigateRequest{
+			Machine: "ibmqx4", Policy: "baseline", Benchmark: "bv-4A", Shots: 128, Seed: 3,
+		},
+	}, map[string]string{overload.DeadlineHeader: overload.FormatDeadline(dl)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var jr api.JobResponse
+	if err := json.Unmarshal(data, &jr); err != nil {
+		t.Fatal(err)
+	}
+	j, ok := s.jobq.Get(jr.Job.ID)
+	if !ok {
+		t.Fatalf("submitted job %s not in queue", jr.Job.ID)
+	}
+	if j.Spec.Deadline == nil || !j.Spec.Deadline.Equal(dl) {
+		t.Fatalf("spec deadline = %v, want %v", j.Spec.Deadline, dl)
+	}
+}
+
+// TestHealthzQueueHighWater: backlog past the mark flips readiness to
+// 503 so balancers stop routing here, and the depth gauges are visible.
+func TestHealthzQueueHighWater(t *testing.T) {
+	s := New(Config{
+		Workers: 2, MaxJobs: 2, ProfileShots: 64, MaxShots: 1 << 16, ProfileTTL: time.Hour,
+		QueueHighWater: 1,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	// Halt dispatch so submissions stay queued.
+	s.DrainJobs(context.Background())
+	for i := 0; i < 2; i++ {
+		if _, err := s.jobq.Submit(jobs.Spec{Type: "mitigate", Payload: json.RawMessage(`{}`)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, data := getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d with backlog over high water, want 503: %s", resp.StatusCode, data)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "unavailable" || h.JobsQueued != 2 {
+		t.Fatalf("health %+v, want unavailable with 2 queued", h)
+	}
+}
+
+// TestMetricsExposeOverload: the overload subsystem is visible on
+// /metrics even when fully disabled (gauges read 0/off).
+func TestMetricsExposeOverload(t *testing.T) {
+	_, ts := testServer(t)
+	resp, data := getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"biasmitd_overload_limiter_enabled 0",
+		"biasmitd_brownout_tier 0",
+		"biasmitd_watchdog_tasks",
+		"biasmitd_retry_budget_denials_total 0",
+	} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}

@@ -22,7 +22,9 @@ package server
 
 import (
 	"context"
+	"errors"
 	"hash/fnv"
+	"log"
 	"net/http"
 	"sort"
 	"strconv"
@@ -41,6 +43,7 @@ import (
 	"biasmit/internal/kernels"
 	"biasmit/internal/metrics"
 	"biasmit/internal/orchestrate"
+	"biasmit/internal/overload"
 	"biasmit/internal/profilestore"
 	"biasmit/internal/qasm"
 	"biasmit/internal/resilient"
@@ -126,6 +129,42 @@ type Config struct {
 	// MachineNames lists the machines /healthz reports on; defaults to
 	// the paper's three machines (device.AllMachines).
 	MachineNames []string
+	// AutoInflight replaces the static MaxJobs admission gate with the
+	// adaptive concurrency limiter (internal/overload): the in-flight
+	// ceiling tracks observed latency against the min-latency baseline,
+	// and excess load is shed with a typed 503 instead of queueing
+	// unboundedly. MaxJobs seeds the limiter's initial limit.
+	AutoInflight bool
+	// QueueTimeout bounds how long an admission-queued request may wait
+	// before being shed, CoDel style (default 100ms). Only meaningful
+	// with AutoInflight.
+	QueueTimeout time.Duration
+	// Brownout enables policy degradation under sustained admission
+	// pressure: AIM requests serve SIM, then baseline, stepping back up
+	// as pressure clears. The served tier is stamped on every mitigate
+	// response.
+	Brownout bool
+	// BrownoutDwellDown/Up are how long pressure (calm) must persist
+	// before stepping a tier down (up); defaults 2s / 5s.
+	BrownoutDwellDown time.Duration
+	BrownoutDwellUp   time.Duration
+	// RetryBudget, when positive, caps retry traffic (backend re-runs)
+	// to this fraction of fresh admitted work via a shared token bucket
+	// — the standard defence against retry storms. 0.1 means retries may
+	// add at most ~10% load. Zero disables the budget.
+	RetryBudget float64
+	// QueueHighWater, when positive, flips /healthz to 503 unavailable
+	// once more than this many async jobs sit queued — the backpressure
+	// signal load balancers act on.
+	QueueHighWater int
+	// WatchdogInterval/WatchdogStall tune the scheduler watchdog: a job
+	// batch with no executor heartbeat for WatchdogStall gets a goroutine
+	// dump logged, its contexts cancelled, and its jobs requeued
+	// (defaults 1s / 30s).
+	WatchdogInterval time.Duration
+	WatchdogStall    time.Duration
+	// Logf sinks watchdog and overload diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
 	// Now overrides the clock, for tests.
 	Now func() time.Time
 	// sleep overrides the retry backoff sleep, for tests.
@@ -168,6 +207,9 @@ func (c Config) withDefaults() Config {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
 	return c
 }
 
@@ -194,6 +236,16 @@ type Server struct {
 	// endpoints use.
 	jobq     *jobs.Queue
 	jobsched *jobs.Scheduler
+
+	// Overload control (all optional; nil disables each):
+	// limiter replaces the static admission gate with adaptive
+	// concurrency + priority shedding, budget caps retry traffic,
+	// brown steps AIM down to SIM/baseline under sustained pressure,
+	// watchdog cancels-and-requeues wedged job batches.
+	limiter  *overload.Limiter
+	budget   *overload.Budget
+	brown    *overload.Brownout
+	watchdog *overload.Watchdog
 }
 
 // machineExec is one machine's execution path plus its breaker.
@@ -214,6 +266,22 @@ func New(cfg Config) *Server {
 		runMetrics: &resilient.Metrics{},
 		execs:      make(map[string]*machineExec),
 	}
+	if cfg.AutoInflight {
+		s.limiter = overload.NewLimiter(overload.LimiterConfig{
+			Initial:      float64(cfg.MaxJobs),
+			QueueTimeout: cfg.QueueTimeout,
+			Now:          cfg.Now,
+		})
+	}
+	if cfg.RetryBudget > 0 {
+		s.budget = overload.NewBudget(cfg.RetryBudget, 0)
+	}
+	if cfg.Brownout {
+		s.brown = overload.NewBrownout(cfg.BrownoutDwellDown, cfg.BrownoutDwellUp, cfg.Now)
+	}
+	s.watchdog = overload.NewWatchdog(cfg.WatchdogInterval, cfg.WatchdogStall, cfg.Logf)
+	s.watchdog.SetNow(cfg.Now)
+	s.watchdog.Start()
 	opts := profilestore.Options{
 		TTL:            cfg.ProfileTTL,
 		RefreshWorkers: 1, // one characterization at a time in the background
@@ -246,6 +314,7 @@ func New(cfg Config) *Server {
 		Prepare:     s.prepareBatch,
 		Workers:     cfg.JobWorkers,
 		BatchWindow: cfg.JobBatchWindow,
+		Watchdog:    s.watchdog,
 		Now:         cfg.Now,
 	})
 	s.jobsched.Start()
@@ -270,8 +339,13 @@ func (s *Server) Store() *profilestore.Store { return s.store }
 // DrainJobs gracefully stops the async job scheduler: dispatch halts,
 // running jobs get until ctx ends to finish, stragglers are cancelled
 // and journaled back to queued, and the job journal is checkpointed.
-// Call before closing the jobs log.
-func (s *Server) DrainJobs(ctx context.Context) jobs.DrainResult { return s.jobsched.Drain(ctx) }
+// Call before closing the jobs log. The watchdog stops with the
+// scheduler it was watching.
+func (s *Server) DrainJobs(ctx context.Context) jobs.DrainResult {
+	res := s.jobsched.Drain(ctx)
+	s.watchdog.Stop()
+	return res
+}
 
 // JobStats snapshots the async job queue's gauges and counters (the
 // daemon logs recovery from it at boot).
@@ -319,7 +393,7 @@ func (s *Server) exec(dev *device.Device) *machineExec {
 	if s.cfg.wrapRun != nil {
 		run = s.cfg.wrapRun(run)
 	}
-	ex := resilient.New(s.cfg.Chaos.Wrap(run), resilient.Policy{
+	pol := resilient.Policy{
 		MaxAttempts: s.cfg.RetryAttempts,
 		BaseDelay:   s.cfg.RetryBaseDelay,
 		SliceShots:  s.cfg.SliceShots,
@@ -328,7 +402,15 @@ func (s *Server) exec(dev *device.Device) *machineExec {
 		Machine:     dev.Name,
 		Sleep:       s.cfg.sleep,
 		Metrics:     s.runMetrics,
-	})
+	}
+	if s.budget != nil {
+		// The shared retry budget has the last word before every backend
+		// retry: when retries would exceed their fraction of fresh
+		// traffic, the transient error surfaces instead of amplifying an
+		// outage.
+		pol.RetryAllow = s.budget.Allow
+	}
+	ex := resilient.New(s.cfg.Chaos.Wrap(run), pol)
 	e := &machineExec{breaker: br, run: ex.Run}
 	s.execs[dev.Name] = e
 	return e
@@ -358,15 +440,67 @@ func (s *Server) deadline(ctx context.Context, timeoutMS int) (context.Context, 
 	return context.WithTimeout(ctx, d)
 }
 
-// admit reserves a slot in the bounded job gate, waiting until one frees
-// or ctx ends (so a queued request still honours its deadline).
+// admit reserves an execution slot for heavy work. With AutoInflight
+// the adaptive limiter decides: requests past the latency-derived
+// ceiling queue briefly (CoDel-bounded) and then shed, lowest priority
+// class first, with a typed overload error. Otherwise the static
+// bounded gate waits until a slot frees or ctx ends. Every admission
+// outcome feeds the brownout controller, and every fresh admission
+// funds the shared retry budget.
 func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	if s.limiter != nil {
+		release, err = s.limiter.Acquire(ctx, overload.ClassFromContext(ctx))
+		if err != nil {
+			var oe *overload.Error
+			if errors.As(err, &oe) {
+				s.brown.Observe(true)
+			}
+			return nil, err
+		}
+		// A success only reads as calm when nobody is left waiting:
+		// during a storm the limiter still admits at capacity, and that
+		// goodput must not reset the brownout's pressure clock.
+		if s.limiter.Stats().Queued == 0 {
+			s.brown.Observe(false)
+		}
+		s.budget.OnRequest()
+		return release, nil
+	}
 	select {
 	case s.jobs <- struct{}{}:
+		s.brown.Observe(false)
+		s.budget.OnRequest()
 		return func() { <-s.jobs }, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// propagatedDeadline narrows ctx to the X-Request-Deadline header, the
+// cross-service budget a caller forwards so work the callee cannot
+// finish in time is shed immediately instead of burning a slot. A
+// malformed header is a client error; an already-expired budget sheds
+// with the typed overload error (503 + Retry-After) before any work
+// starts. The returned cancel is non-nil even when no header is set.
+func (s *Server) propagatedDeadline(ctx context.Context, r *http.Request) (context.Context, context.CancelFunc, error) {
+	h := r.Header.Get(overload.DeadlineHeader)
+	if h == "" {
+		return ctx, func() {}, nil
+	}
+	dl, err := overload.ParseDeadline(h)
+	if err != nil {
+		return ctx, func() {}, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"bad %s header %q: %v", overload.DeadlineHeader, h, err)
+	}
+	if !s.cfg.Now().Before(dl) {
+		return ctx, func() {}, &overload.Error{
+			Reason:     "deadline_budget",
+			Class:      overload.ClassFromContext(ctx),
+			RetryAfter: time.Second,
+		}
+	}
+	ctx, cancel := context.WithDeadline(ctx, dl)
+	return ctx, cancel, nil
 }
 
 // checkShots validates a request budget against both the backend limit
@@ -543,7 +677,14 @@ func (s *Server) handleMitigate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp, err := s.mitigate(r.Context(), &req)
+	ctx := overload.WithClass(r.Context(), overload.ClassMitigate)
+	ctx, cancel, err := s.propagatedDeadline(ctx, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	resp, err := s.mitigate(ctx, &req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -597,18 +738,27 @@ func (s *Server) mitigate(ctx context.Context, req *MitigateRequest) (*MitigateR
 		return nil, asBadRequest(err)
 	}
 
+	// Under brownout pressure an AIM request is served with a cheaper
+	// policy (AIM → SIM → baseline) rather than shed outright: degraded
+	// mitigation beats a 503. The response carries both the requested
+	// policy and what actually ran, so clients can tell.
+	tier := s.brown.Tier() // TierFull when brownout is disabled
+	served := overload.Degrade(req.Policy, tier)
+
 	started := time.Now()
 	resp := &MitigateResponse{
-		Machine:   dev.Name,
-		Benchmark: bench.Name,
-		Policy:    req.Policy,
-		Shots:     req.Shots,
-		Seed:      seed,
-		Layout:    job.Plan.InitialLayout,
-		Swaps:     job.Plan.SwapCount,
+		Machine:      dev.Name,
+		Benchmark:    bench.Name,
+		Policy:       req.Policy,
+		ServedPolicy: served,
+		BrownoutTier: tier,
+		Shots:        req.Shots,
+		Seed:         seed,
+		Layout:       job.Plan.InitialLayout,
+		Swaps:        job.Plan.SwapCount,
 	}
 	var counts *dist.Counts
-	switch req.Policy {
+	switch served {
 	case "baseline":
 		counts, err = job.BaselineContext(ctx, req.Shots, seed)
 		if err != nil {
@@ -709,7 +859,17 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp, err := s.characterizeRequest(r.Context(), &req)
+	// Characterization is the most valuable class under overload: a
+	// learned profile amortizes across every later mitigation, so it is
+	// shed last.
+	ctx := overload.WithClass(r.Context(), overload.ClassCharacterize)
+	ctx, cancel, err := s.propagatedDeadline(ctx, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	resp, err := s.characterizeRequest(ctx, &req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -823,8 +983,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			resp.Status = "degraded"
 		}
 	}
+	jst := s.jobq.Stats()
+	resp.JobsQueued = jst.Queued
+	resp.JobsRunning = jst.Running
+	resp.OldestQueuedMS = jst.OldestQueued.Milliseconds()
+	if resp.BrownoutTier = s.brown.Tier(); resp.BrownoutTier > overload.TierFull {
+		resp.Status = "degraded"
+	}
 	status := http.StatusOK
 	if len(resp.Machines) > 0 && open == len(resp.Machines) {
+		resp.Status = "unavailable"
+		status = http.StatusServiceUnavailable
+	}
+	// Backlog past the high-water mark means new work will sit longer
+	// than it is worth: tell the balancer to stop routing here until the
+	// queue drains below the mark.
+	if hw := s.cfg.QueueHighWater; hw > 0 && jst.Queued > hw {
 		resp.Status = "unavailable"
 		status = http.StatusServiceUnavailable
 	}
@@ -844,6 +1018,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.reg.write(w, s.store.StatsSnapshot(), s.runMetrics.Snapshot(), s.breakerInfos(), persistStats,
 		s.jobq.Stats(), s.cfg.JobsLog != nil)
+	s.writeOverloadMetrics(w)
 }
 
 // breakerInfos snapshots every machine's breaker for /metrics, in a

@@ -21,7 +21,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"runtime"
 	"testing"
@@ -65,17 +64,15 @@ func main() {
 	out := flag.String("out", "BENCH_PR4.json", "path to write the report")
 	baseline := flag.String("baseline", "", "committed report to gate allocs/op against (empty = record only)")
 	flag.Parse()
-	log.SetFlags(0)
-	log.SetPrefix("bench: ")
 
 	// Refuse to benchmark paths that disagree: a fast wrong answer is
 	// not a result worth recording.
 	for _, w := range benchsuite.Widths {
 		if err := benchsuite.Verify(w); err != nil {
-			log.Fatalf("fast path disagrees with naive path: %v", err)
+			fatalf("fast path disagrees with naive path: %v", err)
 		}
 	}
-	log.Printf("fast path verified against naive path at widths %v", benchsuite.Widths)
+	logf("fast path verified against naive path at widths %v", benchsuite.Widths)
 
 	report := Report{
 		Schema:     "biasmit-bench/1",
@@ -94,7 +91,7 @@ func main() {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			Iterations:  r.N,
 		}
-		log.Printf("%-34s %14.0f ns/op %10d allocs/op %12d B/op", name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		logf("%-34s %14.0f ns/op %10d allocs/op %12d B/op", name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
 		report.Benchmarks = append(report.Benchmarks, res)
 		return res
 	}
@@ -105,7 +102,7 @@ func main() {
 		} else {
 			m.AllocRatio = float64(naive.AllocsPerOp)
 		}
-		log.Printf("%-34s %.2fx faster, %.1fx fewer allocs", name, m.Speedup, m.AllocRatio)
+		logf("%-34s %.2fx faster, %.1fx fewer allocs", name, m.Speedup, m.AllocRatio)
 		report.Merits = append(report.Merits, m)
 	}
 
@@ -139,18 +136,18 @@ func main() {
 
 	raw, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
-	log.Printf("wrote %s (%d benchmarks)", *out, len(report.Benchmarks))
+	logf("wrote %s (%d benchmarks)", *out, len(report.Benchmarks))
 
 	if *baseline != "" {
 		if err := gate(*baseline, report); err != nil {
-			log.Fatalf("regression gate: %v", err)
+			fatalf("regression gate: %v", err)
 		}
-		log.Printf("allocation budget holds against %s", *baseline)
+		logf("allocation budget holds against %s", *baseline)
 	}
 }
 
@@ -173,7 +170,7 @@ func gate(path string, fresh Report) error {
 	for _, r := range fresh.Benchmarks {
 		b, ok := baseBy[r.Name]
 		if !ok {
-			log.Printf("  new benchmark %s (no baseline)", r.Name)
+			logf("  new benchmark %s (no baseline)", r.Name)
 			continue
 		}
 		budget := float64(b.AllocsPerOp) * allocBudgetFactor
@@ -186,15 +183,26 @@ func gate(path string, fresh Report) error {
 				r.Name, r.AllocsPerOp, budget, b.AllocsPerOp, allocBudgetFactor))
 		}
 		if b.NsPerOp > 0 {
-			log.Printf("  %-34s %+6.1f%% ns/op vs baseline (informational)",
+			logf("  %-34s %+6.1f%% ns/op vs baseline (informational)",
 				r.Name, 100*(r.NsPerOp-b.NsPerOp)/b.NsPerOp)
 		}
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {
-			log.Printf("  ALLOC REGRESSION: %s", f)
+			logf("  ALLOC REGRESSION: %s", f)
 		}
 		return fmt.Errorf("%d benchmark(s) over the allocation budget", len(failures))
 	}
 	return nil
+}
+
+// logf and fatalf are the harness's human-facing progress lines —
+// plain stderr prints, not the daemon's structured JSON logs.
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+}
+
+func fatalf(format string, args ...any) {
+	logf(format, args...)
+	os.Exit(1)
 }

@@ -103,8 +103,11 @@ func jobsScenario(ctx context.Context, bin, jobsDir string) error {
 	}
 
 	// Park a slow job on the single worker, then stack two behind it.
+	// The slow job is submitted under a client-minted trace ID: the crash
+	// below must not orphan it — the recovered job carries the same ID.
 	slowReq := &api.MitigateRequest{Machine: "ibmqx4", Policy: "baseline", Benchmark: "bv-4A", Shots: 1 << 17, Seed: 21}
-	slowID, err := submitBaseline(ctx, d1.cl, slowReq)
+	traceCtx, slowTrace := client.WithTraceID(ctx, "")
+	slowID, err := submitBaseline(traceCtx, d1.cl, slowReq)
 	if err != nil {
 		return err
 	}
@@ -160,6 +163,14 @@ func jobsScenario(ctx context.Context, bin, jobsDir string) error {
 	}
 	if slowFinal.Job.Requeues != 1 {
 		return fmt.Errorf("re-executed job requeues %d, want 1", slowFinal.Job.Requeues)
+	}
+	// The trace ID minted before the crash survived the journal
+	// round-trip: it is on the recovered job and in its result envelope.
+	if slowFinal.Job.TraceID != slowTrace {
+		return fmt.Errorf("re-executed job trace_id %q, want the pre-crash %q", slowFinal.Job.TraceID, slowTrace)
+	}
+	if slowOut.TraceID != slowTrace {
+		return fmt.Errorf("re-executed job result trace_id %q, want the pre-crash %q", slowOut.TraceID, slowTrace)
 	}
 	slowSync, err := d2.cl.Mitigate(ctx, slowReq)
 	if err != nil {

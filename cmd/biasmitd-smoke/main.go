@@ -5,7 +5,7 @@
 // real Go callers use, and a contract break fails to compile instead of
 // failing to grep.
 //
-// Five scenarios, selected with -scenario:
+// Six scenarios, selected with -scenario:
 //
 //	serve    health, an AIM profile-cache miss/hit pair, a typed
 //	         over-budget rejection, and the /metrics counters that prove
@@ -33,6 +33,13 @@
 //	         policies (ServedPolicy/BrownoutTier visible) instead of
 //	         failing, mid-storm async jobs all complete once the storm
 //	         passes, and full quality returns after sustained calm.
+//	trace    observability round-trip. Owns the daemon (-daemon,
+//	         -data-dir as scratch): boots it with a gray-slow chaos
+//	         backend, runs one slow request under a client-minted trace
+//	         ID, and asserts the same ID ties together the response
+//	         envelope, the /debug/traces span breakdown (summing to the
+//	         measured e2e latency within 10%), the slow-request
+//	         exemplars on /metrics, and the structured stderr log line.
 //	jobs     async-queue crash round-trip. Also owns the daemon
 //	         (-daemon, -jobs-dir): submits jobs through POST /v1/jobs,
 //	         requires a job's result byte-identical to the synchronous
@@ -49,7 +56,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 	"time"
@@ -61,14 +67,12 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "daemon address (host:port or URL; serve/breaker scenarios)")
-	scenario := flag.String("scenario", "serve", "round-trip to run: serve, breaker, recover, jobs, or overload")
+	scenario := flag.String("scenario", "serve", "round-trip to run: serve, breaker, recover, jobs, trace, or overload")
 	daemonBin := flag.String("daemon", "", "path to the biasmitd binary (recover scenario)")
 	dataDir := flag.String("data-dir", "", "durable store directory handed to the daemon (recover scenario)")
 	jobsDir := flag.String("jobs-dir", "", "durable job-queue directory handed to the daemon (jobs scenario)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
 	flag.Parse()
-	log.SetFlags(0)
-	log.SetPrefix("smoke: ")
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -83,16 +87,18 @@ func main() {
 		err = recoverScenario(ctx, *daemonBin, *dataDir)
 	case "jobs":
 		err = jobsScenario(ctx, *daemonBin, *jobsDir)
+	case "trace":
+		err = traceScenario(ctx, *daemonBin, *dataDir)
 	case "overload":
 		err = overloadScenario(ctx, *daemonBin, *dataDir)
 	default:
 		err = fmt.Errorf("unknown scenario %q", *scenario)
 	}
 	if err != nil {
-		log.Printf("FAIL (%s): %v", *scenario, err)
+		fmt.Fprintf(os.Stderr, "smoke: FAIL (%s): %v\n", *scenario, err)
 		os.Exit(1)
 	}
-	log.Printf("ok (%s)", *scenario)
+	fmt.Fprintf(os.Stderr, "smoke: ok (%s)\n", *scenario)
 }
 
 // serveScenario is the happy-path round-trip of the CI serve job.

@@ -50,17 +50,18 @@ func startDaemon(ctx context.Context, bin, logPath string, args ...string) (*dae
 	return &daemon{cmd: cmd, logPath: logPath, cl: client.New(addr)}, nil
 }
 
-// awaitListening polls the daemon's log for the listen address.
+// awaitListening polls the daemon's structured log for the listen
+// address — the "listening" line's addr field.
 func awaitListening(ctx context.Context, logPath string) (string, error) {
 	ctx, cancel := context.WithTimeout(ctx, 15*time.Second)
 	defer cancel()
-	const marker = "listening on "
+	const marker = `"msg":"listening","addr":"`
 	for {
 		data, _ := os.ReadFile(logPath)
 		if i := strings.Index(string(data), marker); i >= 0 {
 			rest := string(data)[i+len(marker):]
-			if j := strings.IndexByte(rest, '\n'); j >= 0 {
-				return strings.TrimSpace(rest[:j]), nil
+			if j := strings.IndexByte(rest, '"'); j >= 0 {
+				return rest[:j], nil
 			}
 		}
 		select {

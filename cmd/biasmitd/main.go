@@ -34,9 +34,9 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -45,15 +45,13 @@ import (
 
 	"biasmit/internal/chaos"
 	"biasmit/internal/jobs"
+	"biasmit/internal/obs"
 	"biasmit/internal/persist"
 	"biasmit/internal/profilestore"
 	"biasmit/internal/server"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("biasmitd: ")
-
 	addr := flag.String("addr", "127.0.0.1:8642", "listen address (use :0 for an ephemeral port)")
 	workers := flag.Int("workers", 0, "parallel workers per job (0 = all CPUs)")
 	maxJobs := flag.Int("max-jobs", 2, "concurrent mitigation/characterization jobs; further requests queue")
@@ -86,10 +84,26 @@ func main() {
 	retryBudget := flag.Float64("retry-budget", 0.1, "retry traffic allowed as a fraction of fresh admitted work (0 disables the budget)")
 	queueHighWater := flag.Int("queue-high-water", 0, "queued async jobs past which /healthz reports 503 unavailable (0 = never)")
 	watchdogStall := flag.Duration("watchdog-stall", 30*time.Second, "missing-heartbeat window after which a wedged job batch is dumped, cancelled, and requeued")
+	logLevel := flag.String("log-level", "info", "minimum structured-log level: debug, info, warn, or error")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	slowRequest := flag.Duration("slow-request", 500*time.Millisecond, "requests slower than this are kept as slow-request exemplars on /metrics and /debug/traces?slow=1")
+	traceBuffer := flag.Int("trace-buffer", 256, "recent request traces retained for /debug/traces")
 	chaosPlan := chaos.Flags(flag.CommandLine)
 	flag.Parse()
+
+	lg := obs.NewLogger(os.Stderr, obs.LevelInfo)
+	if lv, err := obs.ParseLevel(*logLevel); err != nil {
+		lg.Error("bad -log-level", "error", err.Error())
+		os.Exit(1)
+	} else {
+		lg = obs.NewLogger(os.Stderr, lv)
+	}
+	die := func(err error) {
+		lg.Error(err.Error())
+		os.Exit(1)
+	}
 	if err := chaosPlan.Validate(); err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -100,12 +114,12 @@ func main() {
 		var err error
 		dlog, err = profilestore.OpenDiskLog(*dataDir)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		rec := dlog.Recovery()
-		log.Printf("recovered %d profiles from %s (snapshot %d, WAL %d replayed / %d skipped%s)",
-			rec.Profiles, *dataDir, rec.SnapshotProfiles, rec.WALRecords, rec.WALSkipped,
-			map[bool]string{true: ", torn tail dropped", false: ""}[rec.TailTruncated])
+		lg.Info("recovered profiles", "count", rec.Profiles, "dir", *dataDir,
+			"snapshot", rec.SnapshotProfiles, "wal_replayed", rec.WALRecords,
+			"wal_skipped", rec.WALSkipped, "torn_tail", rec.TailTruncated)
 	}
 
 	var jlog *jobs.Log
@@ -113,12 +127,12 @@ func main() {
 		var err error
 		jlog, err = jobs.OpenLog(*jobsDir)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		rec := jlog.Recovery()
-		log.Printf("recovered %d jobs from %s (snapshot %d, WAL %d replayed / %d skipped%s)",
-			rec.Jobs, *jobsDir, rec.SnapshotJobs, rec.WALRecords, rec.WALSkipped,
-			map[bool]string{true: ", torn tail dropped", false: ""}[rec.TailTruncated])
+		lg.Info("recovered jobs", "count", rec.Jobs, "dir", *jobsDir,
+			"snapshot", rec.SnapshotJobs, "wal_replayed", rec.WALRecords,
+			"wal_skipped", rec.WALSkipped, "torn_tail", rec.TailTruncated)
 	}
 
 	srv := server.New(server.Config{
@@ -150,9 +164,13 @@ func main() {
 		RetryBudget:       *retryBudget,
 		QueueHighWater:    *queueHighWater,
 		WatchdogStall:     *watchdogStall,
+		Logger:            lg,
+		TraceBuffer:       *traceBuffer,
+		SlowRequest:       *slowRequest,
 	})
 	if st := srv.JobStats(); st.RecoveredJobs > 0 {
-		log.Printf("requeued %d of %d recovered jobs interrupted mid-run", st.RecoveredRequeued, st.RecoveredJobs)
+		lg.Info("requeued recovered jobs interrupted mid-run",
+			"requeued", st.RecoveredRequeued, "recovered", st.RecoveredJobs)
 	}
 	if *preload != "" {
 		for _, path := range strings.Split(*preload, ",") {
@@ -161,9 +179,9 @@ func main() {
 				continue
 			}
 			if err := preloadProfile(srv, path); err != nil {
-				log.Fatal(err)
+				die(err)
 			}
-			log.Printf("preloaded profile from %s", path)
+			lg.Info("preloaded profile", "path", path)
 		}
 	}
 	if *refreshInterval > 0 {
@@ -173,9 +191,21 @@ func main() {
 		go dlog.CompactLoop(ctx, *snapshotInterval)
 	}
 
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			die(err)
+		}
+		// nil handler = http.DefaultServeMux, where the pprof import
+		// registered /debug/pprof. The profiling surface stays off the
+		// API listener so it is never reachable from API clients.
+		go func() { _ = http.Serve(pln, nil) }()
+		lg.Info("pprof listening", "addr", pln.Addr().String())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
@@ -183,16 +213,16 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	log.Printf("listening on %s", ln.Addr())
+	lg.Info("listening", "addr", ln.Addr().String())
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		die(err)
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second signal kills hard
 
-	log.Printf("draining in-flight requests (up to %s)", *drainTimeout)
+	lg.Info("draining in-flight requests", "budget", drainTimeout.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	drainJobs := func() {
@@ -201,16 +231,16 @@ func main() {
 		// queued, so the next boot re-executes them deterministically.
 		res := srv.DrainJobs(shutdownCtx)
 		if res.Finished > 0 || res.Requeued > 0 {
-			log.Printf("job queue drained: %d finished, %d requeued for next boot", res.Finished, res.Requeued)
+			lg.Info("job queue drained", "finished", res.Finished, "requeued", res.Requeued)
 		}
 		if jlog != nil {
 			if err := jlog.Close(); err != nil {
-				log.Printf("closing job journal: %v", err)
+				lg.Error("closing job journal", "error", err.Error())
 			}
 		}
 	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("drain incomplete: %v", err)
+		lg.Error("drain incomplete", "error", err.Error())
 		_ = httpSrv.Close()
 		drainJobs()
 		if dlog != nil {
@@ -223,10 +253,10 @@ func main() {
 		// Final compaction: a clean shutdown leaves a fresh snapshot and
 		// an empty WAL, so the next boot replays nothing.
 		if err := dlog.Close(); err != nil {
-			log.Printf("closing profile journal: %v", err)
+			lg.Error("closing profile journal", "error", err.Error())
 		}
 	}
-	log.Printf("drained cleanly")
+	lg.Info("drained cleanly")
 }
 
 // preloadProfile imports one `characterize -out` file into the store —

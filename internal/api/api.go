@@ -21,6 +21,20 @@ import (
 // breaking changes bump it and move the routes to a new prefix.
 const Version = "v1"
 
+// TraceHeader carries the request's ULID trace ID. The server mints one
+// per request when the header is absent or malformed, adopts it when
+// valid (so the typed client can pre-assign IDs), and always echoes the
+// effective ID back as the same response header. The envelope's
+// trace_id field carries the identical value in the body.
+const TraceHeader = "X-Trace-Id"
+
+// HedgeHeader marks a hedged duplicate of an in-flight request: the
+// typed client's WithHedgedReads sets it to "true" on the second
+// attempt, which reuses the first attempt's trace ID instead of minting
+// a new trace. The server tags the trace hedge=true so both attempts
+// are distinguishable under one ID.
+const HedgeHeader = "X-Hedged"
+
 // Stable error codes of the biasmitd API. Clients should branch on
 // these, never on message text.
 const (
@@ -76,16 +90,25 @@ const (
 	CodeInternal = "internal"
 )
 
-// Envelope carries the protocol version common to every response body.
-// Response types embed it; the server stamps it in its JSON writer, so
-// handlers cannot forget it.
+// Envelope carries the fields common to every response body: the
+// protocol version and the request's trace ID. Response types embed
+// it; the server stamps both in its JSON writer, so handlers cannot
+// forget them.
 type Envelope struct {
 	APIVersion string `json:"api_version"`
+	// TraceID is the request's ULID trace ID — the same value as the
+	// X-Trace-Id response header. Quote it when reporting a slow or
+	// failed request; the server's /debug/traces and logs key on it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // SetAPIVersion stamps the version; the server's response writer calls
 // it on every body it serializes.
 func (e *Envelope) SetAPIVersion(v string) { e.APIVersion = v }
+
+// SetTraceID stamps the trace ID; the server's response writer calls
+// it on every body it serializes.
+func (e *Envelope) SetTraceID(id string) { e.TraceID = id }
 
 // Error is the stable wire shape of every biasmitd failure: a machine
 // readable code plus a human-readable message, delivered as
@@ -94,6 +117,10 @@ func (e *Envelope) SetAPIVersion(v string) { e.APIVersion = v }
 type Error struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// TraceID identifies the failed request for support lookups; it
+	// duplicates the envelope's trace_id so the error survives being
+	// unwrapped from the envelope (e.g. inside JobInfo.Error).
+	TraceID string `json:"trace_id,omitempty"`
 	Status  int    `json:"-"` // HTTP status, not serialized
 	// RetryAfter, when positive, is surfaced as a Retry-After header —
 	// set on breaker_open responses with the breaker's remaining
@@ -257,10 +284,15 @@ type CharacterizeResponse struct {
 	ElapsedMS float64   `json:"elapsed_ms"`
 }
 
-// ProfilesResponse is the body of GET /v1/profiles.
+// ProfilesResponse is the body of GET /v1/profiles. The listing is
+// ordered by profile key (machine/width/method) and paginated with
+// ?limit= and ?cursor=; NextCursor is set when more pages remain.
 type ProfilesResponse struct {
 	Envelope
 	Profiles []ProfileInfo `json:"profiles"`
+	// NextCursor, when non-empty, is the ?cursor= value that fetches
+	// the next page. Absent on the last page.
+	NextCursor string `json:"next_cursor,omitempty"`
 }
 
 // HealthMachine is one machine's health row: the circuit-breaker state
@@ -338,6 +370,10 @@ type JobInfo struct {
 	CancelRequested bool `json:"cancel_requested,omitempty"`
 	// Error carries the failure of a failed job (stable code + message).
 	Error *Error `json:"error,omitempty"`
+	// TraceID is the trace under which the job was submitted. It is
+	// persisted with the job spec, so a job recovered after a crash
+	// keeps the trace ID its submitter saw.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // JobResponse is the body of POST /v1/jobs (202), GET /v1/jobs/{id},
@@ -352,10 +388,15 @@ type JobResponse struct {
 }
 
 // JobListResponse is the body of GET /v1/jobs. Results are omitted;
-// fetch a job by ID for its result.
+// fetch a job by ID for its result. The listing is ordered by job ID
+// (ULIDs, so submission order) and paginated with ?limit= and
+// ?cursor=; NextCursor is set when more pages remain.
 type JobListResponse struct {
 	Envelope
 	Jobs []JobInfo `json:"jobs"`
+	// NextCursor, when non-empty, is the ?cursor= value that fetches
+	// the next page. Absent on the last page.
+	NextCursor string `json:"next_cursor,omitempty"`
 }
 
 // HealthResponse is the body of GET /healthz. Status is "ok" when every
@@ -381,4 +422,39 @@ type HealthResponse struct {
 	// BrownoutTier is the current quality-degradation tier
 	// (0 full, 1 sim, 2 baseline). Omitted when zero.
 	BrownoutTier int `json:"brownout_tier,omitempty"`
+}
+
+// TraceSpan is one completed stage of a trace: its offset from the
+// trace start and its wall time, both in milliseconds.
+type TraceSpan struct {
+	Name       string            `json:"name"`
+	StartMS    float64           `json:"start_ms"`
+	DurationMS float64           `json:"duration_ms"`
+	Tags       map[string]string `json:"tags,omitempty"`
+}
+
+// TraceEntry is one finished request or job execution as recorded by
+// the server's trace ring buffer.
+type TraceEntry struct {
+	TraceID string    `json:"trace_id"`
+	Route   string    `json:"route"`
+	Status  int       `json:"status"`
+	Start   time.Time `json:"start"`
+	// ElapsedMS is the end-to-end wall time; the spans tile it, so
+	// their durations sum to approximately this value.
+	ElapsedMS   float64           `json:"elapsed_ms"`
+	Spans       []TraceSpan       `json:"spans,omitempty"`
+	Annotations []string          `json:"annotations,omitempty"`
+	Tags        map[string]string `json:"tags,omitempty"`
+}
+
+// TracesResponse is the body of GET /debug/traces: the most recent
+// completed traces, newest first. With ?slow=1 the listing is instead
+// the retained slow-request exemplars (requests over the server's
+// -slow-request threshold).
+type TracesResponse struct {
+	Envelope
+	Traces []TraceEntry `json:"traces"`
+	// SlowThresholdMS is the server's slow-request exemplar threshold.
+	SlowThresholdMS int64 `json:"slow_threshold_ms"`
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -32,8 +33,33 @@ import (
 	"time"
 
 	"biasmit/internal/api"
+	"biasmit/internal/obs"
 	"biasmit/internal/overload"
 )
+
+// WithTraceID attaches a trace ID to ctx so every request issued under
+// it carries the X-Trace-Id header and the daemon adopts the caller's
+// ID instead of minting one. An empty or malformed id mints a fresh
+// ULID. The effective ID is returned alongside the derived context so
+// callers can log it before the first round trip.
+func WithTraceID(ctx context.Context, id string) (context.Context, string) {
+	tr := obs.NewTrace(id, nil)
+	return obs.WithTrace(ctx, tr), tr.ID()
+}
+
+// hedgeKey marks a context as belonging to a hedge attempt; once()
+// translates it into the X-Hedged header so the daemon tags the span
+// instead of treating the race as an independent request.
+type hedgeKey struct{}
+
+func markHedge(ctx context.Context) context.Context {
+	return context.WithValue(ctx, hedgeKey{}, true)
+}
+
+func isHedge(ctx context.Context) bool {
+	v, _ := ctx.Value(hedgeKey{}).(bool)
+	return v
+}
 
 // Client talks to one biasmitd instance. Construct with New; safe for
 // concurrent use (it shares one underlying http.Client).
@@ -163,10 +189,16 @@ func (c *Client) hedgedCharacterize(ctx context.Context, req *api.CharacterizeRe
 		out *api.CharacterizeResponse
 		err error
 	}
+	// Both attempts share one trace: the hedge is the same logical
+	// request racing itself, so it reuses the parent's ID (tagged
+	// hedge=true server-side via X-Hedged) instead of minting a second.
+	if obs.TraceID(ctx) == "" {
+		ctx = obs.WithTrace(ctx, obs.NewTrace("", nil))
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel() // the losing attempt is abandoned, not leaked
 	results := make(chan result, 2)
-	attempt := func() {
+	attempt := func(ctx context.Context) {
 		started := time.Now()
 		out := new(api.CharacterizeResponse)
 		err := c.call(ctx, http.MethodPost, "/v1/characterize", req, out)
@@ -175,7 +207,7 @@ func (c *Client) hedgedCharacterize(ctx context.Context, req *api.CharacterizeRe
 		}
 		results <- result{out, err}
 	}
-	go attempt()
+	go attempt(ctx)
 	inflight := 1
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
@@ -185,7 +217,7 @@ func (c *Client) hedgedCharacterize(ctx context.Context, req *api.CharacterizeRe
 		case <-timer.C:
 			// Primary outlived p95: hedge, if the budget funds it.
 			if c.budget == nil || c.budget.Allow() {
-				go attempt()
+				go attempt(markHedge(ctx))
 				inflight++
 			}
 		case res := <-results:
@@ -201,13 +233,68 @@ func (c *Client) hedgedCharacterize(ctx context.Context, req *api.CharacterizeRe
 	return nil, first.err
 }
 
-// Profiles runs GET /v1/profiles: the cached profile inventory.
+// Profiles runs GET /v1/profiles: the cached profile inventory (up to
+// the server's default page cap; use ProfilesPage to iterate a larger
+// inventory).
 func (c *Client) Profiles(ctx context.Context) (*api.ProfilesResponse, error) {
 	out := new(api.ProfilesResponse)
 	if err := c.call(ctx, http.MethodGet, "/v1/profiles", nil, out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ProfilesPage runs GET /v1/profiles with pagination. A zero limit
+// takes the server default; cursor is the NextCursor of the previous
+// page (empty for the first). Iteration ends when NextCursor comes
+// back empty.
+func (c *Client) ProfilesPage(ctx context.Context, limit int, cursor string) (*api.ProfilesResponse, error) {
+	out := new(api.ProfilesResponse)
+	if err := c.call(ctx, http.MethodGet, "/v1/profiles"+pageQuery(limit, cursor, nil), nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Traces runs GET /debug/traces: the daemon's recent-request trace
+// ring, newest first. A positive limit caps the page; slow narrows the
+// listing to the slow-request exemplars instead.
+func (c *Client) Traces(ctx context.Context, limit int, slow bool) (*api.TracesResponse, error) {
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if slow {
+		q.Set("slow", "1")
+	}
+	path := "/debug/traces"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	out := new(api.TracesResponse)
+	if err := c.call(ctx, http.MethodGet, path, nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// pageQuery renders the shared ?limit=/?cursor= pagination parameters,
+// merging any route-specific extras.
+func pageQuery(limit int, cursor string, extra url.Values) string {
+	q := url.Values{}
+	for k, vs := range extra {
+		q[k] = vs
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if len(q) == 0 {
+		return ""
+	}
+	return "?" + q.Encode()
 }
 
 // Healthz runs GET /healthz. The daemon serves the health body with an
@@ -317,6 +404,12 @@ func (c *Client) once(ctx context.Context, method, path string, in, out any) err
 	if c.apiKey != "" {
 		req.Header.Set("X-API-Key", c.apiKey)
 	}
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(api.TraceHeader, id)
+	}
+	if isHedge(ctx) {
+		req.Header.Set(api.HedgeHeader, "true")
+	}
 	// Deadline propagation: forward the caller's context deadline so the
 	// daemon can shed work it cannot finish in the remaining budget
 	// instead of computing an answer nobody will read.
@@ -357,6 +450,9 @@ func decodeError(resp *http.Response, data []byte) error {
 	}
 	ae := env.Error
 	ae.Status = resp.StatusCode
+	if ae.TraceID == "" {
+		ae.TraceID = resp.Header.Get(api.TraceHeader)
+	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if secs, err := strconv.ParseInt(ra, 10, 64); err == nil && secs > 0 {
 			ae.RetryAfter = time.Duration(secs) * time.Second

@@ -55,6 +55,26 @@ func (c *Client) Jobs(ctx context.Context, state, tenant string) (*api.JobListRe
 	return out, nil
 }
 
+// JobsPage runs GET /v1/jobs with pagination, filtered by state and
+// tenant when non-empty. A zero limit takes the server default; cursor
+// is the NextCursor of the previous page (empty for the first).
+// Iteration is stable under concurrent submissions: new job IDs sort
+// after every cursor already handed out.
+func (c *Client) JobsPage(ctx context.Context, state, tenant string, limit int, cursor string) (*api.JobListResponse, error) {
+	extra := url.Values{}
+	if state != "" {
+		extra.Set("state", state)
+	}
+	if tenant != "" {
+		extra.Set("tenant", tenant)
+	}
+	out := new(api.JobListResponse)
+	if err := c.call(ctx, "GET", "/v1/jobs"+pageQuery(limit, cursor, extra), nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // CancelJob runs DELETE /v1/jobs/{id}. Queued jobs are cancelled
 // immediately; running jobs wind down asynchronously (the returned
 // state may still be "running" with CancelRequested set).

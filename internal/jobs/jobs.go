@@ -88,6 +88,11 @@ type Spec struct {
 	// requester has given up is pure waste — and caps the execution
 	// context so a started job cannot overrun it either. Nil = none.
 	Deadline *time.Time `json:"deadline,omitempty"`
+	// TraceID is the submitting request's trace ID. It travels in the
+	// spec — and therefore through the journal — so a job recovered
+	// after a crash still carries the trace its submitter was handed,
+	// and the recovery re-execution logs under the original ID.
+	TraceID string `json:"trace_id,omitempty"`
 	// Payload is the request body the executor will decode (the same
 	// struct the synchronous endpoint takes).
 	Payload json.RawMessage `json:"payload"`
@@ -124,13 +129,20 @@ type Job struct {
 	Failure         *Failure        `json:"failure,omitempty"`
 
 	// Runtime-only state, never persisted.
-	seq       uint64             // in-memory FIFO order (recovery preserves ID order)
-	reserved  bool               // pulled from pending by the dispatcher, not yet running
-	notBefore time.Time          // earliest dispatch time (retry backoff)
-	cancel    context.CancelFunc // cancels the running execution
-	done      chan struct{}      // closed on terminal
-	stalled   bool               // watchdog cancelled the run; settle requeues
+	seq        uint64             // in-memory FIFO order (recovery preserves ID order)
+	reserved   bool               // pulled from pending by the dispatcher, not yet running
+	notBefore  time.Time          // earliest dispatch time (retry backoff)
+	cancel     context.CancelFunc // cancels the running execution
+	done       chan struct{}      // closed on terminal
+	stalled    bool               // watchdog cancelled the run; settle requeues
+	reservedAt time.Time          // when the dispatcher reserved the job
+	batchWait  time.Duration      // reserved→running gap (micro-batch window wait)
 }
+
+// BatchWait is how long the job sat reserved for a micro-batch before
+// its last execution started — the batch-window wait the executor
+// records as a trace span. Zero when the job went straight to running.
+func (j *Job) BatchWait() time.Duration { return j.batchWait }
 
 // clone returns a persistence/wire-safe copy (shared immutable slices,
 // no runtime fields — they are unexported, so marshalling ignores them,
@@ -406,6 +418,27 @@ func (q *Queue) List(state State, tenant string) []Job {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// Page returns one page of job snapshots filtered by state and tenant
+// ("" matches all), ordered by ID ascending — ULIDs, so submission
+// order — starting strictly after cursor ("" starts at the beginning),
+// at most limit jobs (limit < 1 means no bound). The second return is
+// the cursor for the next page, empty when this page exhausted the
+// listing.
+//
+// The cursor is an ID watermark, not an offset, so the pagination is
+// stable under concurrent inserts: new jobs mint ULIDs that sort after
+// every ID already handed out, so they appear on (or after) the final
+// page rather than shifting earlier pages.
+func (q *Queue) Page(state State, tenant, cursor string, limit int) ([]Job, string) {
+	all := q.List(state, tenant)
+	i := sort.Search(len(all), func(i int) bool { return all[i].ID > cursor })
+	all = all[i:]
+	if limit > 0 && len(all) > limit {
+		return all[:limit], all[limit-1].ID
+	}
+	return all, ""
 }
 
 // Cancel requests cancellation. A queued job is cancelled immediately;

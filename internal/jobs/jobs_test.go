@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"reflect"
 	"sort"
 	"sync"
 	"testing"
@@ -441,5 +442,69 @@ func TestTerminalRetention(t *testing.T) {
 	}
 	if _, ok := q.Get(ids[3]); !ok {
 		t.Fatal("newest terminal job should be retained")
+	}
+}
+
+func TestPageCursorWalk(t *testing.T) {
+	q, _ := NewQueue(Options{})
+	var want []string
+	for i := 0; i < 5; i++ {
+		j, err := q.Submit(Spec{Tenant: "a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, j.ID)
+	}
+
+	// Pages of two hand out every job exactly once, in ID order, with
+	// next cursors that chain and run dry on the final page.
+	var got []string
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > 3 {
+			t.Fatal("pagination did not terminate")
+		}
+		page, next := q.Page("", "", cursor, 2)
+		if len(page) > 2 {
+			t.Fatalf("page of %d jobs, limit 2", len(page))
+		}
+		for _, j := range page {
+			got = append(got, j.ID)
+		}
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("paged %v, want %v", got, want)
+	}
+
+	// The cursor is a watermark: a job submitted mid-iteration sorts
+	// after every ID already handed out, so resuming from the old
+	// cursor surfaces it without disturbing earlier pages.
+	first, next := q.Page("", "", "", 3)
+	late, err := q.Submit(Spec{Tenant: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, last := q.Page("", "", next, 0)
+	if last != "" {
+		t.Fatalf("unbounded page still has next cursor %q", last)
+	}
+	var resumed []string
+	for _, j := range append(first, rest...) {
+		resumed = append(resumed, j.ID)
+	}
+	if !reflect.DeepEqual(resumed, append(want, late.ID)) {
+		t.Fatalf("resumed walk %v, want %v", resumed, append(want, late.ID))
+	}
+
+	// Filters and limits compose; a cursor past the end is an empty page.
+	if page, _ := q.Page(StateQueued, "b", "", 2); len(page) != 0 {
+		t.Fatalf("Page(tenant b) = %+v", page)
+	}
+	if page, next := q.Page("", "", late.ID, 2); len(page) != 0 || next != "" {
+		t.Fatalf("Page past the end = %+v next %q", page, next)
 	}
 }

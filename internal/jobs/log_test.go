@@ -192,3 +192,32 @@ func TestRecordCodecValidation(t *testing.T) {
 		t.Fatalf("round-trip = %+v", rec)
 	}
 }
+
+func TestLogPreservesTraceID(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJob("00000000000000000000000000", StateQueued)
+	j.Spec.TraceID = "01AAAAAAAAAAAAAAAAAAAAAAAA"
+	if err := l.Append(j); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The trace ID rides the journaled spec through close/compact and
+	// reopen — a job recovered after a crash keeps the trace its
+	// submitter saw.
+	l2, err := OpenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := l2.Recovered()
+	if len(got) != 1 || got[0].Spec.TraceID != j.Spec.TraceID {
+		t.Fatalf("recovered %+v, want spec trace ID %q", got, j.Spec.TraceID)
+	}
+}

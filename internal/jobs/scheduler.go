@@ -263,6 +263,7 @@ func (s *Scheduler) nextBatch() ([]*Job, time.Duration) {
 	}
 	q.removePendingLocked(lead)
 	lead.reserved = true
+	lead.reservedAt = now
 	batch := []*Job{lead}
 	if lead.Spec.BatchKey != "" {
 		batch = append(batch, s.gatherLocked(lead.Spec.BatchKey, s.opts.MaxBatch-1, now)...)
@@ -298,6 +299,7 @@ func (s *Scheduler) gatherLocked(key string, max int, now time.Time) []*Job {
 	for _, j := range all {
 		q.removePendingLocked(j)
 		j.reserved = true
+		j.reservedAt = now
 	}
 	return all
 }
@@ -365,6 +367,12 @@ func (s *Scheduler) runBatch(batch []*Job) {
 		j.Attempts++
 		j.BatchSize = size
 		j.reserved = false
+		if !j.reservedAt.IsZero() {
+			// The reserved→running gap is the micro-batch window wait;
+			// the executor reports it as the batch_wait trace span.
+			j.batchWait = now.Sub(j.reservedAt)
+			j.reservedAt = time.Time{}
+		}
 		ctx, cancel := context.WithCancel(context.Background())
 		if j.Spec.Deadline != nil {
 			// The execution budget is the remaining propagated deadline.

@@ -44,6 +44,7 @@ import (
 	"biasmit/internal/circuit"
 	"biasmit/internal/device"
 	"biasmit/internal/dist"
+	"biasmit/internal/obs"
 	"biasmit/internal/orchestrate"
 )
 
@@ -249,6 +250,7 @@ func (e *Executor) Run(ctx context.Context, c *circuit.Circuit, dev *device.Devi
 			if machine == "" {
 				machine = dev.Name
 			}
+			obs.Annotate(ctx, "breaker open: %s rejected the run (retry after %s)", machine, retryAfter)
 			return nil, &BreakerOpenError{Machine: machine, RetryAfter: retryAfter}
 		}
 	}
@@ -290,23 +292,28 @@ func (e *Executor) Run(ctx context.Context, c *circuit.Circuit, dev *device.Devi
 			if m != nil {
 				m.BudgetDenials.Add(1)
 			}
+			obs.Annotate(ctx, "retry budget exhausted after attempt %d: %v", attempt, lastErr)
 			break
 		}
 		// Credit the trials that survived this failed attempt: they are
 		// kept, and only the pending remainder is re-dispatched.
-		if m != nil {
-			kept, shots := 0, 0
-			for _, counts := range done {
-				if counts != nil {
-					kept++
-					shots += counts.Total()
-				}
+		kept, shots := 0, 0
+		for _, counts := range done {
+			if counts != nil {
+				kept++
+				shots += counts.Total()
 			}
-			if kept > creditedSlices {
-				m.SalvagedSlices.Add(uint64(kept - creditedSlices))
-				m.SalvagedShots.Add(uint64(shots - creditedShots))
-				creditedSlices, creditedShots = kept, shots
-			}
+		}
+		if m != nil && kept > creditedSlices {
+			m.SalvagedSlices.Add(uint64(kept - creditedSlices))
+			m.SalvagedShots.Add(uint64(shots - creditedShots))
+			creditedSlices, creditedShots = kept, shots
+		}
+		if kept > 0 {
+			obs.Annotate(ctx, "retry %d/%d after transient (%d/%d slices salvaged, %d shots): %v",
+				attempt+1, e.policy.MaxAttempts, kept, len(slices), shots, lastErr)
+		} else {
+			obs.Annotate(ctx, "retry %d/%d after transient: %v", attempt+1, e.policy.MaxAttempts, lastErr)
 		}
 		if err := e.policy.Sleep(ctx, e.backoff(attempt+1)); err != nil {
 			lastErr = err

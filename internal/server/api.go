@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
 	"biasmit/internal/api"
 	"biasmit/internal/backend"
+	"biasmit/internal/obs"
 	"biasmit/internal/overload"
 	"biasmit/internal/resilient"
 )
@@ -118,29 +120,64 @@ func asBadRequest(err error) *APIError {
 }
 
 // writeJSON writes v with the given status, stamping the protocol
-// version on every body that embeds api.Envelope (all of them — the
-// contract says every response carries "api_version").
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// version and the request's trace ID on every body that embeds
+// api.Envelope (all of them — the contract says every response carries
+// "api_version", and every envelope echoes the X-Trace-Id header as
+// trace_id). Serialization runs under its own span so slow encodes show
+// up in the stage breakdown.
+func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	if ve, ok := v.(interface{ SetAPIVersion(string) }); ok {
 		ve.SetAPIVersion(api.Version)
 	}
+	if te, ok := v.(interface{ SetTraceID(string) }); ok {
+		te.SetTraceID(obs.TraceID(r.Context()))
+	}
+	sp := obs.StartSpan(r.Context(), "serialize")
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+	sp.End()
 }
 
 // writeError maps err onto the typed wire shape and writes it, with a
 // Retry-After header (in whole seconds, rounded up) when the error
-// carries a cooldown.
-func writeError(w http.ResponseWriter, err error) {
-	ae := toAPIError(err)
+// carries a cooldown. The error copy is stamped with the request's
+// trace ID so every failure — 4xx and 5xx alike — is correlatable with
+// the daemon's logs and /debug/traces.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	ae := *toAPIError(err)
+	ae.TraceID = obs.TraceID(r.Context())
 	if ae.RetryAfter > 0 {
 		secs := int64((ae.RetryAfter + time.Second - 1) / time.Second)
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
-	writeJSON(w, ae.Status, &errorEnvelope{Error: ae})
+	writeJSON(w, r, ae.Status, &errorEnvelope{Error: &ae})
+}
+
+// defaultPageLimit caps one page of a list response (GET /v1/profiles,
+// GET /v1/jobs). Calls without ?limit= get up to this many entries plus
+// a next_cursor when more remain, so pre-pagination clients keep
+// working against any listing that fits one page.
+const defaultPageLimit = 1000
+
+// parsePage reads the shared ?limit=/?cursor= pagination parameters.
+// Cursors are opaque watermarks (the last entry of the previous page);
+// pages start strictly after them, which keeps iteration stable under
+// concurrent inserts — new ULIDs sort after every ID already handed
+// out.
+func parsePage(q url.Values) (limit int, cursor string, aerr *APIError) {
+	limit = defaultPageLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > defaultPageLimit {
+			return 0, "", apiErrorf(http.StatusBadRequest, CodeBadRequest,
+				"bad limit %q (want an integer in [1,%d])", v, defaultPageLimit)
+		}
+		limit = n
+	}
+	return limit, q.Get("cursor"), nil
 }
 
 // maxBodyBytes bounds request bodies; circuits above this are not a

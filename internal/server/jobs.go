@@ -12,6 +12,7 @@ import (
 
 	"biasmit/internal/api"
 	"biasmit/internal/jobs"
+	"biasmit/internal/obs"
 	"biasmit/internal/overload"
 	"biasmit/internal/profilestore"
 )
@@ -50,7 +51,9 @@ func jobError(err error) *APIError {
 	return toAPIError(err)
 }
 
-// jobInfo renders a queue job for the wire.
+// jobInfo renders a queue job for the wire. The trace ID travels in
+// the persisted spec, so it survives restarts and crash recovery along
+// with the job itself.
 func jobInfo(j jobs.Job) api.JobInfo {
 	info := api.JobInfo{
 		ID:              j.ID,
@@ -58,6 +61,7 @@ func jobInfo(j jobs.Job) api.JobInfo {
 		State:           string(j.State),
 		Tenant:          j.Spec.Tenant,
 		Priority:        j.Spec.Priority,
+		TraceID:         j.Spec.TraceID,
 		SubmittedAt:     j.SubmittedAt.UTC(),
 		Attempts:        j.Attempts,
 		Requeues:        j.Requeues,
@@ -73,7 +77,12 @@ func jobInfo(j jobs.Job) api.JobInfo {
 		info.FinishedAt = &t
 	}
 	if j.Failure != nil {
-		info.Error = &api.Error{Code: j.Failure.Code, Message: j.Failure.Message, Status: j.Failure.Status}
+		info.Error = &api.Error{
+			Code:    j.Failure.Code,
+			Message: j.Failure.Message,
+			TraceID: j.Spec.TraceID,
+			Status:  j.Failure.Status,
+		}
 	}
 	return info
 }
@@ -89,7 +98,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		s.handleJobList(w, r)
 	default:
-		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+		writeError(w, r, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
 			"%s requires POST or GET", r.URL.Path))
 	}
 }
@@ -99,8 +108,11 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 // the queue), computes the micro-batching key, and durably enqueues.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req api.JobSubmitRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+	sp := obs.StartSpan(r.Context(), "decode")
+	err := decodeJSON(w, r, &req)
+	sp.End()
+	if err != nil {
+		writeError(w, r, err)
 		return
 	}
 	spec := jobs.Spec{
@@ -108,6 +120,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		Tenant:      tenantKey(r),
 		Priority:    req.Priority,
 		MaxAttempts: req.MaxAttempts,
+		// The submission's trace ID rides into the persisted spec: the
+		// job's executions — including a re-run after crash recovery —
+		// continue the trace the submitter saw in the 202 envelope.
+		TraceID: obs.TraceID(r.Context()),
 	}
 	// Deadline propagation: a caller's X-Request-Deadline rides into the
 	// persisted spec, so the scheduler sheds the job the moment its
@@ -116,7 +132,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if h := r.Header.Get(overload.DeadlineHeader); h != "" {
 		dl, err := overload.ParseDeadline(h)
 		if err != nil {
-			writeError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			writeError(w, r, apiErrorf(http.StatusBadRequest, CodeBadRequest,
 				"bad %s header %q: %v", overload.DeadlineHeader, h, err))
 			return
 		}
@@ -125,35 +141,35 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	switch req.Type {
 	case api.JobTypeMitigate:
 		if req.Mitigate == nil || req.Characterize != nil {
-			writeError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			writeError(w, r, apiErrorf(http.StatusBadRequest, CodeBadRequest,
 				"a %q job carries exactly the mitigate body", req.Type))
 			return
 		}
 		if err := s.vetMitigateJob(req.Mitigate, &spec); err != nil {
-			writeError(w, err)
+			writeError(w, r, err)
 			return
 		}
 	case api.JobTypeCharacterize:
 		if req.Characterize == nil || req.Mitigate != nil {
-			writeError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			writeError(w, r, apiErrorf(http.StatusBadRequest, CodeBadRequest,
 				"a %q job carries exactly the characterize body", req.Type))
 			return
 		}
 		if err := s.vetCharacterizeJob(req.Characterize, &spec); err != nil {
-			writeError(w, err)
+			writeError(w, r, err)
 			return
 		}
 	default:
-		writeError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+		writeError(w, r, apiErrorf(http.StatusBadRequest, CodeBadRequest,
 			"unknown job type %q (want %s or %s)", req.Type, api.JobTypeMitigate, api.JobTypeCharacterize))
 		return
 	}
 	j, err := s.jobq.Submit(spec)
 	if err != nil {
-		writeError(w, jobError(err))
+		writeError(w, r, jobError(err))
 		return
 	}
-	writeJSON(w, http.StatusAccepted, jobResponse(j))
+	writeJSON(w, r, http.StatusAccepted, jobResponse(j))
 }
 
 // vetMitigateJob front-loads the request validation a synchronous
@@ -259,15 +275,53 @@ func (s *Server) prepareBatch(ctx context.Context, key string, size int) {
 	_, _, _ = s.store.Serve(ctx, pk)
 }
 
-// execJob is the scheduler's executor: decode the payload and run it
-// through the exact synchronous path. Deterministic per spec — the
-// seeds are in the payload — which is what makes crash-recovery re-runs
-// byte-identical.
+// execJob is the scheduler's executor. It rebuilds the job's trace
+// from the persisted spec — the scheduler's execution context is
+// detached from the submitting request, and a SIGKILL-recovered job
+// has no live request at all, so the spec's trace ID is the thread
+// that survives — then runs the payload through the exact synchronous
+// path and records the finished trace like any HTTP request.
 func (s *Server) execJob(ctx context.Context, j jobs.Job) (json.RawMessage, *jobs.Failure) {
 	// Async work is the first class shed under overload: its callers
 	// already chose to wait, so an admission retry later beats competing
 	// with interactive requests now.
 	ctx = overload.WithClass(ctx, overload.ClassJobs)
+	tr := obs.NewTrace(j.Spec.TraceID, s.cfg.Now)
+	tr.SetTag("job_id", j.ID)
+	tr.SetTag("tenant", j.Spec.Tenant)
+	if j.Requeues > 0 {
+		tr.SetTag("requeues", strconv.Itoa(j.Requeues))
+	}
+	// The time between submission and this attempt splits into plain
+	// queue wait and — for batchable jobs — the micro-batch coalescing
+	// window the scheduler held the job open for.
+	bw := j.BatchWait()
+	if qw := s.cfg.Now().Sub(j.SubmittedAt) - bw; qw > 0 {
+		tr.AddSpan("queue_wait", qw)
+	}
+	if bw > 0 {
+		tr.AddSpan("batch_wait", bw)
+	}
+	ctx = obs.WithTrace(ctx, tr)
+	result, fail := s.runJob(ctx, j)
+	status := http.StatusOK
+	if fail != nil {
+		status = fail.Status
+		if status == 0 {
+			status = http.StatusInternalServerError
+		}
+		tr.Annotate("failed: %s: %s", fail.Code, fail.Message)
+	}
+	td := tr.Finish("job:"+j.Spec.Type, status)
+	s.traces.Record(td)
+	s.logTrace("job", td)
+	return result, fail
+}
+
+// runJob decodes the payload and runs it through the exact synchronous
+// path. Deterministic per spec — the seeds are in the payload — which
+// is what makes crash-recovery re-runs byte-identical.
+func (s *Server) runJob(ctx context.Context, j jobs.Job) (json.RawMessage, *jobs.Failure) {
 	var (
 		result any
 		err    error
@@ -294,11 +348,15 @@ func (s *Server) execJob(ctx context.Context, j jobs.Job) (json.RawMessage, *job
 	if err != nil {
 		return nil, jobFailure(err)
 	}
-	// Stamp the protocol version exactly like writeJSON would have: a
-	// job's stored result is byte-for-byte the body the synchronous call
-	// would have written.
+	// Stamp the protocol version and trace ID exactly like writeJSON
+	// would have: a job's stored result carries the same envelope fields
+	// the synchronous call's body would, trace ID included — which is
+	// how a recovered job's result still names its original trace.
 	if ve, ok := result.(interface{ SetAPIVersion(string) }); ok {
 		ve.SetAPIVersion(api.Version)
+	}
+	if te, ok := result.(interface{ SetTraceID(string) }); ok {
+		te.SetTraceID(obs.TraceID(ctx))
 	}
 	raw, merr := json.Marshal(result)
 	if merr != nil {
@@ -323,37 +381,49 @@ func jobFailure(err error) *jobs.Failure {
 	return f
 }
 
+// handleJobList lists jobs in submission (ULID) order, one page at a
+// time: ?cursor= is the ID of the last job of the previous page,
+// ?limit= bounds the page (the documented default cap applies either
+// way), and next_cursor in the envelope links the pages. The
+// strictly-after cursor makes iteration stable under concurrent
+// submissions — new jobs mint later ULIDs than any already listed.
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	state, err := jobs.ParseState(r.URL.Query().Get("state"))
 	if err != nil {
-		writeError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+		writeError(w, r, apiErrorf(http.StatusBadRequest, CodeBadRequest,
 			"unknown state filter %q", r.URL.Query().Get("state")))
 		return
 	}
-	resp := &api.JobListResponse{Jobs: []api.JobInfo{}}
-	for _, j := range s.jobq.List(state, r.URL.Query().Get("tenant")) {
+	limit, cursor, aerr := parsePage(r.URL.Query())
+	if aerr != nil {
+		writeError(w, r, aerr)
+		return
+	}
+	page, next := s.jobq.Page(state, r.URL.Query().Get("tenant"), cursor, limit)
+	resp := &api.JobListResponse{Jobs: []api.JobInfo{}, NextCursor: next}
+	for _, j := range page {
 		resp.Jobs = append(resp.Jobs, jobInfo(j))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	if id == "" || strings.Contains(id, "/") {
-		writeError(w, apiErrorf(http.StatusNotFound, CodeNotFound, "no route %s %s", r.Method, r.URL.Path))
+		writeError(w, r, apiErrorf(http.StatusNotFound, CodeNotFound, "no route %s %s", r.Method, r.URL.Path))
 		return
 	}
 	if err := jobs.ValidID(id); err != nil {
-		writeError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest, "malformed job ID %q", id))
+		writeError(w, r, apiErrorf(http.StatusBadRequest, CodeBadRequest, "malformed job ID %q", id))
 		return
 	}
 	switch r.Method {
 	case http.MethodGet:
 		s.handleJobGet(w, r, id)
 	case http.MethodDelete:
-		s.handleJobCancel(w, id)
+		s.handleJobCancel(w, r, id)
 	default:
-		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+		writeError(w, r, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
 			"%s requires GET or DELETE", r.URL.Path))
 	}
 }
@@ -365,13 +435,13 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request, id string) {
 	j, ok := s.jobq.Get(id)
 	if !ok {
-		writeError(w, jobError(jobs.ErrNotFound))
+		writeError(w, r, jobError(jobs.ErrNotFound))
 		return
 	}
 	if wait := r.URL.Query().Get("wait"); wait != "" && !j.State.Terminal() {
 		d, err := parseWait(wait)
 		if err != nil {
-			writeError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest, "bad wait %q: %v", wait, err))
+			writeError(w, r, apiErrorf(http.StatusBadRequest, CodeBadRequest, "bad wait %q: %v", wait, err))
 			return
 		}
 		if d > s.cfg.MaxTimeout {
@@ -388,7 +458,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request, id string)
 		}
 		j, _ = s.jobq.Get(id)
 	}
-	writeJSON(w, http.StatusOK, jobResponse(j))
+	writeJSON(w, r, http.StatusOK, jobResponse(j))
 }
 
 // parseWait accepts "30s"-style durations and bare seconds.
@@ -409,11 +479,11 @@ func parseWait(s string) (time.Duration, error) {
 // handleJobCancel cancels a job: queued jobs die immediately, running
 // jobs get their execution context cancelled and wind down
 // asynchronously (poll for the cancelled state).
-func (s *Server) handleJobCancel(w http.ResponseWriter, id string) {
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request, id string) {
 	j, err := s.jobq.Cancel(id)
 	if err != nil {
-		writeError(w, jobError(err))
+		writeError(w, r, jobError(err))
 		return
 	}
-	writeJSON(w, http.StatusOK, jobResponse(j))
+	writeJSON(w, r, http.StatusOK, jobResponse(j))
 }

@@ -134,6 +134,7 @@ func TestJobLifecycleResultMatchesSync(t *testing.T) {
 		t.Fatal(err)
 	}
 	syncOut.ElapsedMS, asyncOut.ElapsedMS = 0, 0
+	syncOut.TraceID, asyncOut.TraceID = "", "" // unique per request by design
 	if !reflect.DeepEqual(syncOut, asyncOut) {
 		t.Fatalf("async result diverged from the synchronous path:\nsync  %+v\nasync %+v", syncOut, asyncOut)
 	}

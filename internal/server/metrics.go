@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"biasmit/internal/jobs"
+	"biasmit/internal/obs"
 	"biasmit/internal/overload"
 	"biasmit/internal/profilestore"
 	"biasmit/internal/resilient"
@@ -321,4 +322,34 @@ func (s *Server) writeOverloadMetrics(w io.Writer) {
 	ws := s.watchdog.Stats()
 	gauge("biasmitd_watchdog_tasks", "Loops and batches currently heartbeating the watchdog.", int64(ws.Tasks))
 	counter("biasmitd_watchdog_stalls_total", "Stalled tasks the watchdog cancelled and requeued.", ws.Stalls)
+}
+
+// writeTraceMetrics renders the tracing layer: per-stage latency
+// histograms aggregated from finished spans, and the retained
+// slow-request exemplars — trace IDs a debugger can paste straight
+// into GET /debug/traces. Written after the overload block by
+// /metrics.
+func (s *Server) writeTraceMetrics(w io.Writer) {
+	stages := s.traces.Stages()
+	fmt.Fprintln(w, "# HELP biasmitd_stage_duration_seconds Per-stage span latency across traced requests and jobs.")
+	fmt.Fprintln(w, "# TYPE biasmitd_stage_duration_seconds histogram")
+	for _, name := range sortedKeys(stages) {
+		h := stages[name]
+		var cum uint64
+		for i, le := range obs.StageBuckets {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "biasmitd_stage_duration_seconds_bucket{stage=%q,le=\"%g\"} %d\n", name, le, cum)
+		}
+		fmt.Fprintf(w, "biasmitd_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(w, "biasmitd_stage_duration_seconds_sum{stage=%q} %g\n", name, h.Sum)
+		fmt.Fprintf(w, "biasmitd_stage_duration_seconds_count{stage=%q} %d\n", name, h.Count)
+	}
+	fmt.Fprintln(w, "# HELP biasmitd_slow_request_threshold_seconds Elapsed time past which a request is retained as a slow exemplar.")
+	fmt.Fprintln(w, "# TYPE biasmitd_slow_request_threshold_seconds gauge")
+	fmt.Fprintf(w, "biasmitd_slow_request_threshold_seconds %g\n", s.traces.SlowThreshold().Seconds())
+	fmt.Fprintln(w, "# HELP biasmitd_slow_request_seconds Elapsed seconds of retained slow-request exemplars, newest first.")
+	fmt.Fprintln(w, "# TYPE biasmitd_slow_request_seconds gauge")
+	for _, td := range s.traces.Slow() {
+		fmt.Fprintf(w, "biasmitd_slow_request_seconds{trace_id=%q,route=%q} %g\n", td.TraceID, td.Route, td.ElapsedMS/1e3)
+	}
 }

@@ -24,14 +24,15 @@ import (
 	"context"
 	"errors"
 	"hash/fnv"
-	"log"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"biasmit/internal/api"
 	"biasmit/internal/backend"
 	"biasmit/internal/bitstring"
 	"biasmit/internal/chaos"
@@ -42,6 +43,7 @@ import (
 	"biasmit/internal/jobs"
 	"biasmit/internal/kernels"
 	"biasmit/internal/metrics"
+	"biasmit/internal/obs"
 	"biasmit/internal/orchestrate"
 	"biasmit/internal/overload"
 	"biasmit/internal/profilestore"
@@ -163,7 +165,18 @@ type Config struct {
 	// (defaults 1s / 30s).
 	WatchdogInterval time.Duration
 	WatchdogStall    time.Duration
-	// Logf sinks watchdog and overload diagnostics (default log.Printf).
+	// Logger is the server's structured logger: every completed request
+	// and job execution emits one JSON line through it, keyed by trace
+	// ID. Defaults to info-level JSON on stderr.
+	Logger *obs.Logger
+	// TraceBuffer is how many finished traces GET /debug/traces retains
+	// (default 256).
+	TraceBuffer int
+	// SlowRequest is the elapsed time past which a finished trace is
+	// retained as a slow-request exemplar on /metrics (default 500ms).
+	SlowRequest time.Duration
+	// Logf sinks watchdog and overload diagnostics (default: info lines
+	// through Logger).
 	Logf func(format string, args ...any)
 	// Now overrides the clock, for tests.
 	Now func() time.Time
@@ -207,8 +220,11 @@ func (c Config) withDefaults() Config {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.Logger == nil {
+		c.Logger = obs.NewLogger(os.Stderr, obs.LevelInfo)
+	}
 	if c.Logf == nil {
-		c.Logf = log.Printf
+		c.Logf = c.Logger.Logf
 	}
 	return c
 }
@@ -236,6 +252,10 @@ type Server struct {
 	// endpoints use.
 	jobq     *jobs.Queue
 	jobsched *jobs.Scheduler
+
+	// traces aggregates finished request/job traces: the /debug/traces
+	// ring, the slow-request exemplars, and the per-stage histograms.
+	traces *obs.Recorder
 
 	// Overload control (all optional; nil disables each):
 	// limiter replaces the static admission gate with adaptive
@@ -265,6 +285,7 @@ func New(cfg Config) *Server {
 		start:      cfg.Now(),
 		runMetrics: &resilient.Metrics{},
 		execs:      make(map[string]*machineExec),
+		traces:     obs.NewRecorder(cfg.TraceBuffer, cfg.SlowRequest),
 	}
 	if cfg.AutoInflight {
 		s.limiter = overload.NewLimiter(overload.LimiterConfig{
@@ -318,15 +339,34 @@ func New(cfg Config) *Server {
 		Now:         cfg.Now,
 	})
 	s.jobsched.Start()
-	s.mux.HandleFunc("/v1/mitigate", s.instrument("/v1/mitigate", s.handleMitigate))
-	s.mux.HandleFunc("/v1/characterize", s.instrument("/v1/characterize", s.handleCharacterize))
-	s.mux.HandleFunc("/v1/profiles", s.instrument("/v1/profiles", s.handleProfiles))
-	s.mux.HandleFunc("/v1/jobs", s.instrument("/v1/jobs", s.handleJobs))
-	s.mux.HandleFunc("/v1/jobs/", s.instrument("/v1/jobs/", s.handleJobByID))
-	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
-	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
-	s.mux.HandleFunc("/", s.instrument("/", s.handleNotFound))
+	for _, rt := range s.routes() {
+		s.mux.HandleFunc(rt.pattern, s.instrument(rt.pattern, rt.handler))
+	}
 	return s
+}
+
+// route is one mux registration: the pattern doubles as the metrics and
+// trace label.
+type route struct {
+	pattern string
+	handler http.HandlerFunc
+}
+
+// routes is the server's canonical route table. The mux is built from
+// it, and the API-reference test walks it to assert docs/API.md
+// documents every pattern registered here.
+func (s *Server) routes() []route {
+	return []route{
+		{"/v1/mitigate", s.handleMitigate},
+		{"/v1/characterize", s.handleCharacterize},
+		{"/v1/profiles", s.handleProfiles},
+		{"/v1/jobs", s.handleJobs},
+		{"/v1/jobs/", s.handleJobByID},
+		{"/healthz", s.handleHealthz},
+		{"/metrics", s.handleMetrics},
+		{"/debug/traces", s.handleDebugTraces},
+		{"/", s.handleNotFound},
+	}
 }
 
 // Handler returns the HTTP handler serving the full API surface.
@@ -362,15 +402,72 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the in-flight gauge, the request
-// counter, and the latency histogram for route.
+// instrument wraps a handler with the request's whole observability
+// envelope: the in-flight gauge, the request counter, and the latency
+// histogram for route, plus the trace lifecycle — mint (or adopt a
+// valid inbound X-Trace-Id), echo the ID as a response header, thread
+// the trace through the request context, and on completion fold it
+// into the trace ring and emit the structured request log line.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		tr := obs.NewTrace(r.Header.Get(api.TraceHeader), s.cfg.Now)
+		if r.Header.Get(api.HedgeHeader) == "true" {
+			// A hedged duplicate shares its primary's trace ID; the tag is
+			// what tells the two apart in the ring and the logs.
+			tr.SetTag("hedge", "true")
+		}
+		w.Header().Set(api.TraceHeader, tr.ID())
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
 		s.reg.begin(route)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
 		s.reg.end(route, rec.code, time.Since(start).Seconds())
+		td := tr.Finish(route, rec.code)
+		s.traces.Record(td)
+		s.logTrace("request", td)
+	}
+}
+
+// logTrace emits the one structured line every completed request or job
+// gets: trace ID, route, status, elapsed time, and the per-stage span
+// breakdown. Scrape and debug endpoints log at debug so an idle
+// daemon's log is not all Prometheus polls; API traffic logs at info,
+// client errors at warn, server errors at error.
+func (s *Server) logTrace(msg string, td obs.TraceData) {
+	lg := s.cfg.Logger
+	lvl := obs.LevelDebug
+	if strings.HasPrefix(td.Route, "/v1/") || strings.HasPrefix(td.Route, "job:") {
+		lvl = obs.LevelInfo
+	}
+	switch {
+	case td.Status >= 500:
+		lvl = obs.LevelError
+	case td.Status >= 400:
+		lvl = obs.LevelWarn
+	}
+	if !lg.Enabled(lvl) {
+		return
+	}
+	kv := []any{"trace_id", td.TraceID, "route", td.Route, "status", td.Status, "elapsed_ms", td.ElapsedMS}
+	if len(td.Spans) > 0 {
+		kv = append(kv, "spans", td.Spans)
+	}
+	if len(td.Tags) > 0 {
+		kv = append(kv, "tags", td.Tags)
+	}
+	if len(td.Annotations) > 0 {
+		kv = append(kv, "annotations", td.Annotations)
+	}
+	switch lvl {
+	case obs.LevelDebug:
+		lg.Debug(msg, kv...)
+	case obs.LevelInfo:
+		lg.Info(msg, kv...)
+	case obs.LevelWarn:
+		lg.Warn(msg, kv...)
+	default:
+		lg.Error(msg, kv...)
 	}
 }
 
@@ -669,27 +766,30 @@ func outcomeRows(counts *dist.Counts, top int) ([]OutcomeCount, int) {
 
 func (s *Server) handleMitigate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires POST", r.URL.Path))
+		writeError(w, r, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires POST", r.URL.Path))
 		return
 	}
 	var req MitigateRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+	sp := obs.StartSpan(r.Context(), "decode")
+	err := decodeJSON(w, r, &req)
+	sp.End()
+	if err != nil {
+		writeError(w, r, err)
 		return
 	}
 	ctx := overload.WithClass(r.Context(), overload.ClassMitigate)
 	ctx, cancel, err := s.propagatedDeadline(ctx, r)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	defer cancel()
 	resp, err := s.mitigate(ctx, &req)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 // mitigate validates and executes one mitigation request.
@@ -724,7 +824,9 @@ func (s *Server) mitigate(ctx context.Context, req *MitigateRequest) (*MitigateR
 
 	ctx, cancel := s.deadline(ctx, req.TimeoutMS)
 	defer cancel()
+	qsp := obs.StartSpan(ctx, "queue_wait")
 	release, err := s.admit(ctx)
+	qsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -744,6 +846,9 @@ func (s *Server) mitigate(ctx context.Context, req *MitigateRequest) (*MitigateR
 	// policy and what actually ran, so clients can tell.
 	tier := s.brown.Tier() // TierFull when brownout is disabled
 	served := overload.Degrade(req.Policy, tier)
+	if served != req.Policy {
+		obs.Annotate(ctx, "brownout: serving %s for requested %s", served, req.Policy)
+	}
 
 	started := time.Now()
 	resp := &MitigateResponse{
@@ -760,7 +865,9 @@ func (s *Server) mitigate(ctx context.Context, req *MitigateRequest) (*MitigateR
 	var counts *dist.Counts
 	switch served {
 	case "baseline":
+		ssp := obs.StartSpan(ctx, "sample").Tag("policy", served)
 		counts, err = job.BaselineContext(ctx, req.Shots, seed)
+		ssp.End()
 		if err != nil {
 			return nil, toAPIError(err)
 		}
@@ -773,7 +880,9 @@ func (s *Server) mitigate(ctx context.Context, req *MitigateRequest) (*MitigateR
 		if serr != nil {
 			return nil, asBadRequest(serr)
 		}
+		ssp := obs.StartSpan(ctx, "sample").Tag("policy", served)
 		res, serr := core.SIMContext(ctx, job, invs, req.Shots, seed)
+		ssp.End()
 		if serr != nil {
 			return nil, asBadRequest(serr)
 		}
@@ -784,7 +893,9 @@ func (s *Server) mitigate(ctx context.Context, req *MitigateRequest) (*MitigateR
 			return nil, aerr
 		}
 		cfg := core.AIMConfig{CanaryFraction: req.CanaryFraction, K: req.K}
+		ssp := obs.StartSpan(ctx, "sample").Tag("policy", served)
 		res, serr := core.AIMContext(ctx, job, prof.RBMS, cfg, req.Shots, seed)
+		ssp.End()
 		if serr != nil {
 			return nil, asBadRequest(serr)
 		}
@@ -805,6 +916,7 @@ func (s *Server) mitigate(ctx context.Context, req *MitigateRequest) (*MitigateR
 		resp.Degraded = serveRes.Degraded
 	}
 
+	csp := obs.StartSpan(ctx, "correct")
 	resp.Outcomes, resp.DistinctOutcomes = outcomeRows(counts, req.Top)
 	if len(bench.Correct) > 0 {
 		d := counts.Dist()
@@ -817,6 +929,7 @@ func (s *Server) mitigate(ctx context.Context, req *MitigateRequest) (*MitigateR
 			resp.Correct = append(resp.Correct, b.String())
 		}
 	}
+	csp.End()
 	resp.ElapsedMS = float64(time.Since(started).Microseconds()) / 1000
 	return resp, nil
 }
@@ -834,15 +947,22 @@ func (s *Server) aimProfile(ctx context.Context, req *MitigateRequest, job *core
 		return nil, profilestore.ServeResult{}, err
 	}
 	key := profilestore.Key{Machine: dev.Name, Width: job.Width(), Method: method}
+	sp := obs.StartSpan(ctx, "characterize")
+	defer sp.End()
 	if req.RequireCachedProfile {
 		p, ok := s.store.Get(key)
 		if !ok {
 			return nil, profilestore.ServeResult{}, apiErrorf(http.StatusConflict, CodeProfileStale,
 				"no fresh %s profile cached for %s; POST /v1/characterize first or drop require_cached_profile", method, key)
 		}
+		sp.Tag("cached", "true")
 		return p, profilestore.ServeResult{Cached: true}, nil
 	}
 	p, res, err := s.store.Serve(ctx, key)
+	sp.Tag("cached", strconv.FormatBool(res.Cached))
+	if res.Degraded {
+		sp.Tag("degraded", "true")
+	}
 	if err != nil {
 		return nil, res, toAPIError(err)
 	}
@@ -851,12 +971,15 @@ func (s *Server) aimProfile(ctx context.Context, req *MitigateRequest, job *core
 
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires POST", r.URL.Path))
+		writeError(w, r, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires POST", r.URL.Path))
 		return
 	}
 	var req CharacterizeRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+	sp := obs.StartSpan(r.Context(), "decode")
+	err := decodeJSON(w, r, &req)
+	sp.End()
+	if err != nil {
+		writeError(w, r, err)
 		return
 	}
 	// Characterization is the most valuable class under overload: a
@@ -865,16 +988,16 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	ctx := overload.WithClass(r.Context(), overload.ClassCharacterize)
 	ctx, cancel, err := s.propagatedDeadline(ctx, r)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	defer cancel()
 	resp, err := s.characterizeRequest(ctx, &req)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 // characterizeRequest validates and executes one characterization
@@ -903,7 +1026,9 @@ func (s *Server) characterizeRequest(ctx context.Context, req *CharacterizeReque
 
 	ctx, cancel := s.deadline(ctx, req.TimeoutMS)
 	defer cancel()
+	qsp := obs.StartSpan(ctx, "queue_wait")
 	release, err := s.admit(ctx)
+	qsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -914,11 +1039,15 @@ func (s *Server) characterizeRequest(ctx context.Context, req *CharacterizeReque
 		p   *profilestore.Profile
 		res profilestore.ServeResult
 	)
+	csp := obs.StartSpan(ctx, "characterize")
 	if req.Force {
 		p, err = s.store.Characterize(ctx, key)
+		csp.Tag("forced", "true")
 	} else {
 		p, res, err = s.store.Serve(ctx, key)
+		csp.Tag("cached", strconv.FormatBool(res.Cached))
 	}
+	csp.End()
 	if err != nil {
 		return nil, toAPIError(err)
 	}
@@ -934,16 +1063,34 @@ func (s *Server) characterizeRequest(ctx context.Context, req *CharacterizeReque
 	return resp, nil
 }
 
+// handleProfiles lists cached profiles in stable key order
+// (machine/width/method), one page at a time: ?cursor= is the key of
+// the last profile of the previous page, ?limit= bounds the page (the
+// documented default cap applies either way), and next_cursor in the
+// envelope links the pages.
 func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires GET", r.URL.Path))
+		writeError(w, r, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires GET", r.URL.Path))
 		return
 	}
+	limit, cursor, aerr := parsePage(r.URL.Query())
+	if aerr != nil {
+		writeError(w, r, aerr)
+		return
+	}
+	profs := s.store.Profiles()
+	sort.Slice(profs, func(i, j int) bool { return profs[i].Key.String() < profs[j].Key.String() })
+	i := sort.Search(len(profs), func(i int) bool { return profs[i].Key.String() > cursor })
+	profs = profs[i:]
 	resp := &ProfilesResponse{Profiles: []ProfileInfo{}}
-	for _, p := range s.store.Profiles() {
+	if len(profs) > limit {
+		resp.NextCursor = profs[limit-1].Key.String()
+		profs = profs[:limit]
+	}
+	for _, p := range profs {
 		resp.Profiles = append(resp.Profiles, s.profileInfo(p))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 // handleHealthz reports honest readiness rather than bare liveness:
@@ -954,7 +1101,7 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 // only when every machine's breaker is open.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires GET", r.URL.Path))
+		writeError(w, r, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires GET", r.URL.Path))
 		return
 	}
 	resp := &HealthResponse{
@@ -1002,12 +1149,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Status = "unavailable"
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, resp)
+	writeJSON(w, r, status, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires GET", r.URL.Path))
+		writeError(w, r, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires GET", r.URL.Path))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -1019,6 +1166,67 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.write(w, s.store.StatsSnapshot(), s.runMetrics.Snapshot(), s.breakerInfos(), persistStats,
 		s.jobq.Stats(), s.cfg.JobsLog != nil)
 	s.writeOverloadMetrics(w)
+	s.writeTraceMetrics(w)
+}
+
+// handleDebugTraces serves the recent-trace ring: the last completed
+// requests and job executions, newest first, each with its per-stage
+// span breakdown. ?slow=1 narrows the listing to the retained
+// slow-request exemplars; ?limit= bounds the page.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, r, apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s requires GET", r.URL.Path))
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, r, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+				"bad limit %q (want a positive integer)", v))
+			return
+		}
+		limit = n
+	}
+	var list []obs.TraceData
+	if r.URL.Query().Get("slow") == "1" {
+		list = s.traces.Slow()
+		if limit > 0 && len(list) > limit {
+			list = list[:limit]
+		}
+	} else {
+		list = s.traces.Last(limit)
+	}
+	resp := &api.TracesResponse{
+		Traces:          make([]api.TraceEntry, 0, len(list)),
+		SlowThresholdMS: s.traces.SlowThreshold().Milliseconds(),
+	}
+	for _, td := range list {
+		resp.Traces = append(resp.Traces, toTraceEntry(td))
+	}
+	writeJSON(w, r, http.StatusOK, resp)
+}
+
+// toTraceEntry converts a recorded trace to its wire shape.
+func toTraceEntry(td obs.TraceData) api.TraceEntry {
+	e := api.TraceEntry{
+		TraceID:     td.TraceID,
+		Route:       td.Route,
+		Status:      td.Status,
+		Start:       td.Start.UTC(),
+		ElapsedMS:   td.ElapsedMS,
+		Annotations: td.Annotations,
+		Tags:        td.Tags,
+	}
+	for _, sp := range td.Spans {
+		e.Spans = append(e.Spans, api.TraceSpan{
+			Name:       sp.Name,
+			StartMS:    sp.StartMS,
+			DurationMS: sp.DurationMS,
+			Tags:       sp.Tags,
+		})
+	}
+	return e
 }
 
 // breakerInfos snapshots every machine's breaker for /metrics, in a
@@ -1054,5 +1262,5 @@ func (s *Server) breakerInfos() []breakerInfo {
 }
 
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
-	writeError(w, apiErrorf(http.StatusNotFound, CodeNotFound, "no route %s %s", r.Method, r.URL.Path))
+	writeError(w, r, apiErrorf(http.StatusNotFound, CodeNotFound, "no route %s %s", r.Method, r.URL.Path))
 }

@@ -67,6 +67,10 @@ func jobsScenario(ctx context.Context, bin, jobsDir string) error {
 		"-job-workers", "1",
 		"-workers", "2",
 		"-profile-shots", "256",
+		// This scenario proves the queue re-executes work to the exact
+		// bytes the synchronous path computes; a result-cache hit would
+		// hand both paths the same stored bytes and prove nothing.
+		"-result-cache=false",
 	}
 
 	d1, err := startDaemon(ctx, bin, filepath.Join(jobsDir, "boot1.log"), args...)

@@ -5,11 +5,18 @@
 // real Go callers use, and a contract break fails to compile instead of
 // failing to grep.
 //
-// Six scenarios, selected with -scenario:
+// Seven scenarios, selected with -scenario:
 //
-//	serve    health, an AIM profile-cache miss/hit pair, a typed
+//	serve    health, an AIM profile-cache miss, a result-cache replay of
+//	         the identical request, a reseeded profile-cache hit, a typed
 //	         over-budget rejection, and the /metrics counters that prove
 //	         it all happened.
+//	cache    result-cache round-trip. Owns the daemon (-daemon,
+//	         -data-dir as scratch): an identical request pair must
+//	         replay byte-identical stored bytes (ElapsedMS included),
+//	         a forced re-characterization must invalidate them, and a
+//	         concurrent burst of identical requests must coalesce onto
+//	         exactly one execution — all visible on /metrics.
 //	breaker  two injected outages open the machine's breaker, the third
 //	         request is rejected up front with breaker_open + a
 //	         Retry-After cooldown, /healthz degrades honestly, and after
@@ -67,7 +74,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "daemon address (host:port or URL; serve/breaker scenarios)")
-	scenario := flag.String("scenario", "serve", "round-trip to run: serve, breaker, recover, jobs, trace, or overload")
+	scenario := flag.String("scenario", "serve", "round-trip to run: serve, cache, breaker, recover, jobs, trace, or overload")
 	daemonBin := flag.String("daemon", "", "path to the biasmitd binary (recover scenario)")
 	dataDir := flag.String("data-dir", "", "durable store directory handed to the daemon (recover scenario)")
 	jobsDir := flag.String("jobs-dir", "", "durable job-queue directory handed to the daemon (jobs scenario)")
@@ -81,6 +88,8 @@ func main() {
 	switch *scenario {
 	case "serve":
 		err = serveScenario(ctx, client.New(*addr))
+	case "cache":
+		err = cacheScenario(ctx, *daemonBin, *dataDir)
 	case "breaker":
 		err = breakerScenario(ctx, client.New(*addr))
 	case "recover":
@@ -101,7 +110,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "smoke: ok (%s)\n", *scenario)
 }
 
-// serveScenario is the happy-path round-trip of the CI serve job.
+// serveScenario is the happy-path round-trip of the CI serve job,
+// against a daemon running with its defaults — result cache included.
 func serveScenario(ctx context.Context, cl *client.Client) error {
 	h, err := cl.Healthz(ctx)
 	if err != nil {
@@ -111,8 +121,8 @@ func serveScenario(ctx context.Context, cl *client.Client) error {
 		return fmt.Errorf("healthz status %q, want ok", h.Status)
 	}
 
-	// AIM twice: the first run characterizes (cache miss), the second
-	// must reuse the stored profile.
+	// First AIM run: characterizes fresh (profile-cache miss) and lands
+	// in the result cache.
 	req := &api.MitigateRequest{
 		Machine: "ibmqx4", Policy: "aim", Benchmark: "bv-4A", Shots: 2048, Seed: 7,
 	}
@@ -123,12 +133,35 @@ func serveScenario(ctx context.Context, cl *client.Client) error {
 	if first.Profile == nil || first.Profile.Cached {
 		return fmt.Errorf("first aim run should characterize fresh, got profile %+v", first.Profile)
 	}
+	if first.CacheHit {
+		return fmt.Errorf("first aim run flagged cache_hit")
+	}
+
+	// The identical request replays the stored bytes — including the
+	// first run's Profile.Cached=false — with cache_hit set.
 	second, err := cl.Mitigate(ctx, req)
 	if err != nil {
 		return fmt.Errorf("second aim run: %w", err)
 	}
-	if second.Profile == nil || !second.Profile.Cached {
-		return fmt.Errorf("second aim run should hit the profile cache, got profile %+v", second.Profile)
+	if !second.CacheHit {
+		return fmt.Errorf("identical aim run should hit the result cache, got %+v", second)
+	}
+	if second.Profile == nil || second.Profile.Cached {
+		return fmt.Errorf("result-cache hit should replay the original profile metadata, got %+v", second.Profile)
+	}
+
+	// A different seed misses the result cache but reuses the profile.
+	reseeded := *req
+	reseeded.Seed = 8
+	third, err := cl.Mitigate(ctx, &reseeded)
+	if err != nil {
+		return fmt.Errorf("reseeded aim run: %w", err)
+	}
+	if third.CacheHit {
+		return fmt.Errorf("reseeded aim run flagged cache_hit")
+	}
+	if third.Profile == nil || !third.Profile.Cached {
+		return fmt.Errorf("reseeded aim run should hit the profile cache, got profile %+v", third.Profile)
 	}
 
 	// An over-budget request must be the typed bad_budget rejection.
@@ -147,7 +180,10 @@ func serveScenario(ctx context.Context, cl *client.Client) error {
 	return expectMetrics(ctx, cl,
 		"biasmitd_profile_cache_misses_total 1",
 		"biasmitd_profile_cache_hits_total 1",
-		`biasmitd_requests_total{route="/v1/mitigate",code="200"} 2`,
+		"biasmitd_result_cache_enabled 1",
+		"biasmitd_result_cache_hits_total 1",
+		"biasmitd_result_cache_misses_total 2",
+		`biasmitd_requests_total{route="/v1/mitigate",code="200"} 3`,
 		`biasmitd_requests_total{route="/v1/mitigate",code="400"} 1`,
 	)
 }

@@ -77,6 +77,11 @@ func overloadScenario(ctx context.Context, bin, dir string) error {
 		return err
 	}
 	d, err := startDaemon(ctx, bin, filepath.Join(dir, "overload.log"),
+		// The recovery probe below reuses the pre-warm request verbatim;
+		// a result-cache hit would replay the full-quality pre-storm
+		// bytes and fake the recovery. This scenario measures admission
+		// control, so the cache stays off.
+		"-result-cache=false",
 		"-workers", "1",
 		"-max-jobs", "2",
 		"-job-workers", "1",

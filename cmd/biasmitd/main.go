@@ -25,6 +25,13 @@
 // a characterization storm. -preload imports profile files written by
 // `characterize -out` (same serialization) into the store at boot.
 //
+// Mitigation is a deterministic function of (machine, circuit, policy,
+// shots, seed, profile), so by default repeated identical requests are
+// served from a content-addressed result cache and concurrent
+// duplicates coalesce onto a single execution (-result-cache=false
+// disables this; -result-cache-size bounds it). Re-characterizing a
+// machine invalidates every cached result that depended on its profile.
+//
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests get -drain-timeout to finish, then the process
 // exits (a second signal aborts immediately).
@@ -84,6 +91,8 @@ func main() {
 	retryBudget := flag.Float64("retry-budget", 0.1, "retry traffic allowed as a fraction of fresh admitted work (0 disables the budget)")
 	queueHighWater := flag.Int("queue-high-water", 0, "queued async jobs past which /healthz reports 503 unavailable (0 = never)")
 	watchdogStall := flag.Duration("watchdog-stall", 30*time.Second, "missing-heartbeat window after which a wedged job batch is dumped, cancelled, and requeued")
+	resultCache := flag.Bool("result-cache", true, "serve repeated identical mitigation requests from a content-addressed result cache, coalescing concurrent duplicates onto one execution")
+	resultCacheSize := flag.Int("result-cache-size", 1024, "result-cache entry bound; past it the LRU result is evicted (needs -result-cache)")
 	logLevel := flag.String("log-level", "info", "minimum structured-log level: debug, info, warn, or error")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	slowRequest := flag.Duration("slow-request", 500*time.Millisecond, "requests slower than this are kept as slow-request exemplars on /metrics and /debug/traces?slow=1")
@@ -164,6 +173,8 @@ func main() {
 		RetryBudget:       *retryBudget,
 		QueueHighWater:    *queueHighWater,
 		WatchdogStall:     *watchdogStall,
+		ResultCache:       *resultCache,
+		ResultCacheSize:   *resultCacheSize,
 		Logger:            lg,
 		TraceBuffer:       *traceBuffer,
 		SlowRequest:       *slowRequest,

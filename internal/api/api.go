@@ -127,6 +127,11 @@ type Error struct {
 	// cooldown. The client restores it from the header, so the field
 	// round-trips even though it is not part of the JSON body.
 	RetryAfter time.Duration `json:"-"`
+	// RetryAfterSet records that the server sent an explicit
+	// Retry-After header — including `Retry-After: 0`, which means
+	// "retry immediately" and is distinct from no header at all (the
+	// client then falls back to its own default cooldown).
+	RetryAfterSet bool `json:"-"`
 }
 
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
@@ -247,8 +252,17 @@ type MitigateResponse struct {
 	ServedPolicy string `json:"served_policy"`
 	// BrownoutTier is the server's degradation tier at serving time
 	// (0 = full quality, 1 = sim, 2 = baseline). Omitted when zero.
-	BrownoutTier int     `json:"brownout_tier,omitempty"`
-	ElapsedMS    float64 `json:"elapsed_ms"`
+	BrownoutTier int `json:"brownout_tier,omitempty"`
+	// CacheHit is true when this response was served from the result
+	// cache: the body (ElapsedMS included) is byte-identical to the
+	// response the original computation produced; only the envelope
+	// and these two cache-metadata fields are stamped per request.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Coalesced is true when this request attached to an identical
+	// in-flight computation and received the same bytes as its leader
+	// instead of running the pipeline itself.
+	Coalesced bool    `json:"coalesced,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // CharacterizeRequest is the body of POST /v1/characterize. The

@@ -242,9 +242,17 @@ func runShots(ctx context.Context, c *circuit.Circuit, dev *device.Device, opt O
 		return runShotsNaive(ctx, c, dev, opt, idle, readout.Model(), shots, rng, counts)
 	}
 	state := quantum.AcquireState(dev.NumQubits)
-	defer quantum.ReleaseState(state)
 	var sampler *quantum.Sampler
 	defer func() {
+		// A panic mid-trajectory (chaos injection, a faulted gate)
+		// leaves these buffers in an unknown state: drop them for the
+		// GC instead of pooling them, then let the panic continue to
+		// the orchestrator's recovery. Pooling a torn buffer would
+		// hand a corrupted state vector to an unrelated future run.
+		if r := recover(); r != nil {
+			panic(r)
+		}
+		quantum.ReleaseState(state)
 		if sampler != nil {
 			quantum.ReleaseSampler(sampler)
 		}
@@ -475,10 +483,20 @@ func checkConnectivity(c *circuit.Circuit, dev *device.Device) error {
 // the pools in internal/quantum.
 func RunIdeal(c *circuit.Circuit) dist.Dist {
 	state := quantum.AcquireState(c.NumQubits)
-	defer quantum.ReleaseState(state)
+	var probs []float64
+	defer func() {
+		// As in runShots: a panic mid-simulation abandons the buffers
+		// to the GC rather than pooling possibly-torn contents.
+		if r := recover(); r != nil {
+			panic(r)
+		}
+		quantum.ReleaseState(state)
+		if probs != nil {
+			quantum.ReleaseProbs(c.NumQubits, probs)
+		}
+	}()
 	c.SimulateInto(state)
-	probs := quantum.AcquireProbs(c.NumQubits)
-	defer quantum.ReleaseProbs(c.NumQubits, probs)
+	probs = quantum.AcquireProbs(c.NumQubits)
 	state.ProbabilitiesInto(probs)
 	d := dist.NewDist(c.NumQubits)
 	for i, p := range probs {

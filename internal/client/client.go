@@ -142,7 +142,11 @@ func New(base string, opts ...Option) *Client {
 }
 
 // Mitigate runs POST /v1/mitigate: one benchmark under one measurement
-// policy on one machine.
+// policy on one machine. Against a server with the result cache on
+// (the daemon default), the response's CacheHit and Coalesced fields
+// say whether it replays a stored computation or rode an identical
+// in-flight one; the rest of the body is byte-identical to what a
+// fresh execution returns, so callers need not branch on either.
 func (c *Client) Mitigate(ctx context.Context, req *api.MitigateRequest) (*api.MitigateResponse, error) {
 	out := new(api.MitigateResponse)
 	if err := c.call(ctx, http.MethodPost, "/v1/mitigate", req, out); err != nil {
@@ -369,7 +373,9 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 			return err
 		}
 		cooldown := ae.RetryAfter
-		if cooldown <= 0 {
+		if cooldown <= 0 && !ae.RetryAfterSet {
+			// No explicit header: fall back to a default pause. An
+			// explicit Retry-After: 0 means retry immediately.
 			cooldown = time.Second
 		}
 		if cooldown > c.retryCap {
@@ -454,11 +460,36 @@ func decodeError(resp *http.Response, data []byte) error {
 		ae.TraceID = resp.Header.Get(api.TraceHeader)
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.ParseInt(ra, 10, 64); err == nil && secs > 0 {
-			ae.RetryAfter = time.Duration(secs) * time.Second
+		if d, ok := parseRetryAfter(ra, time.Now()); ok {
+			ae.RetryAfter = d
+			ae.RetryAfterSet = true
 		}
 	}
 	return ae
+}
+
+// parseRetryAfter decodes a Retry-After header value: either
+// delta-seconds or an HTTP-date (RFC 9110 §10.2.3). A zero return
+// with ok=true means "retry immediately" — callers must not confuse
+// it with an absent header. Negative values (a delta the server
+// should not send, or a date already past) clamp to 0: the wait is
+// over. Malformed values report ok=false and are ignored.
+func parseRetryAfter(value string, now time.Time) (time.Duration, bool) {
+	value = strings.TrimSpace(value)
+	if secs, err := strconv.ParseInt(value, 10, 64); err == nil {
+		if secs <= 0 {
+			return 0, true
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(value); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }
 
 func versionError(got string) error {

@@ -1,0 +1,114 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"biasmit/internal/api"
+)
+
+// TestParseRetryAfter pins both wire forms of the header: integer
+// delta-seconds (including the valid "0" = retry immediately) and the
+// HTTP-date form, with negatives clamping to 0 and garbage rejected.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name  string
+		value string
+		want  time.Duration
+		ok    bool
+	}{
+		{"delta seconds", "30", 30 * time.Second, true},
+		{"delta one", "1", time.Second, true},
+		{"zero means retry now", "0", 0, true},
+		{"negative delta clamps to zero", "-7", 0, true},
+		{"surrounding whitespace", "  15 ", 15 * time.Second, true},
+		{"http date in the future", now.Add(90 * time.Second).UTC().Format(http.TimeFormat), 90 * time.Second, true},
+		{"http date right now", now.UTC().Format(http.TimeFormat), 0, true},
+		{"http date in the past clamps to zero", now.Add(-time.Hour).UTC().Format(http.TimeFormat), 0, true},
+		{"rfc850 date form", now.Add(2 * time.Minute).UTC().Format("Monday, 02-Jan-06 15:04:05 GMT"), 2 * time.Minute, true},
+		{"empty", "", 0, false},
+		{"garbage", "soon", 0, false},
+		{"fractional seconds are not delta-seconds", "1.5", 0, false},
+		{"duration syntax is not on the wire", "30s", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseRetryAfter(tc.value, now)
+			if got != tc.want || ok != tc.ok {
+				t.Fatalf("parseRetryAfter(%q) = %v, %v; want %v, %v", tc.value, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}
+
+// TestRetryAfterZeroRetriesImmediately is the end-to-end regression
+// for the dropped `Retry-After: 0`: a breaker_open rejection carrying
+// an explicit zero must mark the error RetryAfterSet (so the caller's
+// default one-second cooldown does not apply) and the retry loop must
+// proceed without the fallback pause.
+func TestRetryAfterZeroRetriesImmediately(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set(api.TraceHeader, "01J4QK3F8ZV9Q6WZJ4M2R7XT5C")
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"api_version": api.Version,
+				"error":       map[string]any{"code": api.CodeBreakerOpen, "message": "open"},
+			})
+			return
+		}
+		_, _ = w.Write([]byte(`{"api_version":"v1","profiles":[]}`))
+	}))
+	defer srv.Close()
+
+	cl := New(srv.URL, WithBreakerRetries(1))
+	start := time.Now()
+	if _, err := cl.Profiles(context.Background()); err != nil {
+		t.Fatalf("health after breaker retry: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (reject then retry)", got)
+	}
+	// The old behavior slept the 1s fallback; an explicit zero must
+	// not. Allow generous scheduler slack, but far below one second.
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("retry after explicit Retry-After: 0 took %v; the fallback cooldown leaked in", elapsed)
+	}
+}
+
+// TestRetryAfterHTTPDateDecodes covers the previously ignored
+// HTTP-date form arriving on a typed error.
+func TestRetryAfterHTTPDateDecodes(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", time.Now().Add(30*time.Second).UTC().Format(http.TimeFormat))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"api_version": api.Version,
+			"error":       map[string]any{"code": api.CodeBreakerOpen, "message": "open"},
+		})
+	}))
+	defer srv.Close()
+
+	cl := New(srv.URL)
+	_, err := cl.Profiles(context.Background())
+	ae, ok := err.(*api.Error)
+	if !ok {
+		t.Fatalf("want *api.Error, got %v", err)
+	}
+	if !ae.RetryAfterSet {
+		t.Fatal("HTTP-date Retry-After not marked RetryAfterSet")
+	}
+	// The date round-trips through formatting, so allow a couple of
+	// seconds of truncation and clock skew.
+	if ae.RetryAfter < 25*time.Second || ae.RetryAfter > 31*time.Second {
+		t.Fatalf("RetryAfter %v, want ≈30s decoded from the HTTP date", ae.RetryAfter)
+	}
+}

@@ -330,7 +330,14 @@ func (m *Matrix) OutputDist(readout *noise.ReadoutModel) dist.Dist {
 		panic(fmt.Sprintf("density: readout model has %d qubits for %d-qubit state", readout.NumQubits(), m.n))
 	}
 	probs := quantum.AcquireProbs(m.n)
-	defer quantum.ReleaseProbs(m.n, probs)
+	defer func() {
+		// Drop (don't pool) the buffer when unwinding a panic; its
+		// contents are torn.
+		if r := recover(); r != nil {
+			panic(r)
+		}
+		quantum.ReleaseProbs(m.n, probs)
+	}()
 	m.ProbabilitiesInto(probs)
 	out := dist.NewDist(m.n)
 	for _, x := range bitstring.All(m.n) {

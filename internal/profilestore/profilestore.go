@@ -173,6 +173,7 @@ type Store struct {
 	inflight map[Key]*call
 	useSeq   uint64         // monotonic LRU clock
 	lastUse  map[Key]uint64 // useSeq at last hit/publication
+	gens     map[Key]uint64 // bumped whenever the profile under a key changes
 	stats    Stats
 }
 
@@ -198,6 +199,7 @@ func New(characterize CharacterizeFunc, opt Options) *Store {
 		profiles:       make(map[Key]*Profile),
 		inflight:       make(map[Key]*call),
 		lastUse:        make(map[Key]uint64),
+		gens:           make(map[Key]uint64),
 	}
 }
 
@@ -390,6 +392,7 @@ func (s *Store) touchLocked(key Key) {
 // again on the next boot.
 func (s *Store) publishLocked(p *Profile) []Key {
 	s.profiles[p.Key] = p
+	s.gens[p.Key]++
 	s.touchLocked(p.Key)
 	var evicted []Key
 	for s.maxProfiles > 0 && len(s.profiles) > s.maxProfiles {
@@ -399,6 +402,7 @@ func (s *Store) publishLocked(p *Profile) []Key {
 		}
 		delete(s.profiles, victim)
 		delete(s.lastUse, victim)
+		s.gens[victim]++
 		s.stats.Evictions++
 		evicted = append(evicted, victim)
 	}
@@ -567,10 +571,27 @@ func (s *Store) Invalidate(key Key) {
 	_, had := s.profiles[key]
 	delete(s.profiles, key)
 	delete(s.lastUse, key)
+	// Bump even when nothing was cached: an in-flight characterization
+	// may still publish under this key, and downstream caches keyed to
+	// the pre-invalidate generation must not survive it.
+	s.gens[key]++
 	s.mu.Unlock()
 	if had {
 		s.journalDeletes([]Key{key})
 	}
+}
+
+// Generation returns the profile generation of key: a monotonic
+// counter bumped every time the profile under that key changes
+// (characterize, refresh, import, warm-restart load, eviction,
+// invalidation). Downstream result caches record the generation a
+// computation used and discard entries the moment it moves — a
+// re-characterized profile can never be paired with results computed
+// against its predecessor. Keys never published report 0.
+func (s *Store) Generation(key Key) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gens[key]
 }
 
 // Profiles returns a snapshot of every cached profile, sorted by key.

@@ -328,3 +328,72 @@ func TestRefreshFailureKeepsServingOldProfile(t *testing.T) {
 		t.Fatalf("stats = %+v, want 1 refresh error", st)
 	}
 }
+
+// TestGenerationTracksProfileChanges pins the contract downstream
+// result caches rely on: Generation(key) is 0 before any publication
+// and bumps on every event that changes the profile under the key —
+// characterize, TTL re-characterize, import, invalidation — so a
+// result computed against generation G can be recognized as stale the
+// moment the profile moves.
+func TestGenerationTracksProfileChanges(t *testing.T) {
+	clock := newFakeClock()
+	var calls atomic.Int64
+	key := Key{Machine: "ibmqx4", Width: 3, Method: "brute"}
+	s := New(func(ctx context.Context, k Key) (*Profile, error) {
+		return uniformProfile(k, float64(calls.Add(1))), nil
+	}, Options{TTL: 10 * time.Minute, Now: clock.now})
+
+	if g := s.Generation(key); g != 0 {
+		t.Fatalf("virgin key generation %d, want 0", g)
+	}
+
+	if _, _, err := s.GetOrCharacterize(context.Background(), key); err != nil {
+		t.Fatal(err)
+	}
+	g1 := s.Generation(key)
+	if g1 == 0 {
+		t.Fatal("characterization did not bump the generation")
+	}
+
+	// A cache hit must NOT bump: generations track the profile, not use.
+	if _, cached, _ := s.GetOrCharacterize(context.Background(), key); !cached {
+		t.Fatal("expected a cache hit")
+	}
+	if g := s.Generation(key); g != g1 {
+		t.Fatalf("cache hit moved the generation %d -> %d", g1, g)
+	}
+
+	// TTL expiry forces a re-characterization: new profile, new gen.
+	clock.advance(11 * time.Minute)
+	if _, cached, _ := s.GetOrCharacterize(context.Background(), key); cached {
+		t.Fatal("expected a post-TTL re-characterization")
+	}
+	g2 := s.Generation(key)
+	if g2 <= g1 {
+		t.Fatalf("re-characterization generation %d, want > %d", g2, g1)
+	}
+
+	// Invalidation bumps even though nothing is republished yet.
+	s.Invalidate(key)
+	g3 := s.Generation(key)
+	if g3 <= g2 {
+		t.Fatalf("invalidation generation %d, want > %d", g3, g2)
+	}
+
+	// Import is a publication too.
+	imp := uniformProfile(key, 0.5)
+	imp.Key = key
+	imp.LearnedAt = clock.now()
+	if err := s.Import(imp); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.Generation(key); g <= g3 {
+		t.Fatalf("import generation %d, want > %d", g, g3)
+	}
+
+	// Other keys are untouched by all of the above.
+	other := Key{Machine: "ibmqx2", Width: 2, Method: "brute"}
+	if g := s.Generation(other); g != 0 {
+		t.Fatalf("unrelated key generation %d, want 0", g)
+	}
+}

@@ -26,6 +26,7 @@ func AcquireState(n int) *State {
 	}
 	if v := statePools[n].Get(); v != nil {
 		s := v.(*State)
+		s.released = false
 		s.Reset()
 		return s
 	}
@@ -33,11 +34,14 @@ func AcquireState(n int) *State {
 }
 
 // ReleaseState returns s's buffers to the per-width pool. s must not be
-// used afterwards.
+// used afterwards. Releasing the same state twice is a no-op: panic and
+// error unwinding can run overlapping cleanup paths, and a double Put
+// would hand one buffer to two future acquirers.
 func ReleaseState(s *State) {
-	if s == nil || s.n < 1 || s.n > MaxQubits {
+	if s == nil || s.n < 1 || s.n > MaxQubits || s.released {
 		return
 	}
+	s.released = true
 	statePools[s.n].Put(s)
 }
 
@@ -68,6 +72,7 @@ func AcquireSampler(s *State) *Sampler {
 	if s.n >= 1 && s.n <= MaxQubits {
 		if v := samplerPools[s.n].Get(); v != nil {
 			sp := v.(*Sampler)
+			sp.released = false
 			sp.Reset(s)
 			return sp
 		}
@@ -76,10 +81,12 @@ func AcquireSampler(s *State) *Sampler {
 }
 
 // ReleaseSampler returns sp's prefix buffer to the per-width pool. sp
-// must not be used afterwards.
+// must not be used afterwards. Like ReleaseState, a second release of
+// the same sampler is a safe no-op rather than a double Put.
 func ReleaseSampler(sp *Sampler) {
-	if sp == nil || sp.n < 1 || sp.n > MaxQubits {
+	if sp == nil || sp.n < 1 || sp.n > MaxQubits || sp.released {
 		return
 	}
+	sp.released = true
 	samplerPools[sp.n].Put(sp)
 }

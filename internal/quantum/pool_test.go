@@ -1,0 +1,70 @@
+package quantum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDoubleReleaseStateIsNoOp: overlapping cleanup paths (a panic
+// unwinding through two defers, an error path that already released)
+// may call ReleaseState twice on the same state. The second call must
+// not Put the buffer again — a double Put hands one amplitude buffer
+// to two future acquirers, which then corrupt each other's
+// trajectories.
+func TestDoubleReleaseStateIsNoOp(t *testing.T) {
+	const n = 4
+	s := NewState(n)
+	ReleaseState(s)
+	ReleaseState(s) // must be a no-op, not a second Put
+
+	// Drain the pool: at most one acquisition may come back with s's
+	// identity. If the double Put leaked through, both of these would
+	// be the same object.
+	a := AcquireState(n)
+	b := AcquireState(n)
+	if a == b {
+		t.Fatal("double ReleaseState put one *State into the pool twice")
+	}
+	// Pooled reacquisition is reset and usable again.
+	if n := a.Norm(); n != 1 {
+		t.Fatalf("reacquired state norm %v, want 1 (Reset on acquire)", n)
+	}
+	ReleaseState(a)
+	ReleaseState(b)
+}
+
+// TestDoubleReleaseSamplerIsNoOp is the sampler-side twin.
+func TestDoubleReleaseSamplerIsNoOp(t *testing.T) {
+	const n = 4
+	st := NewState(n)
+	sp := NewSampler(st)
+	ReleaseSampler(sp)
+	ReleaseSampler(sp)
+
+	a := AcquireSampler(st)
+	b := AcquireSampler(st)
+	if a == b {
+		t.Fatal("double ReleaseSampler put one *Sampler into the pool twice")
+	}
+	ReleaseSampler(a)
+	ReleaseSampler(b)
+}
+
+// TestReleasedStateIsReusableAfterReacquire: the released flag must
+// clear on acquire, so a recycled state can be released again later.
+func TestReleasedStateIsReusableAfterReacquire(t *testing.T) {
+	const n = 3
+	s := NewState(n)
+	ReleaseState(s)
+	got := AcquireState(n)
+	ReleaseState(got) // must actually pool it (flag cleared on acquire)
+	again := AcquireState(n)
+	if again != got && again != s {
+		// Not guaranteed by sync.Pool, but with no concurrent use the
+		// per-P free list returns the last Put. If this turns flaky,
+		// drop the identity check; the releases above are the point.
+		t.Skip("sync.Pool did not recycle; identity check inconclusive")
+	}
+	rng := rand.New(rand.NewSource(1))
+	_ = again.Sample(rng) // still structurally valid
+}

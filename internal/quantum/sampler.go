@@ -32,6 +32,9 @@ import (
 type Sampler struct {
 	n      int
 	prefix []float64
+	// released marks a sampler currently owned by the pool; see
+	// State.released.
+	released bool
 }
 
 // NewSampler builds the CDF of s.

@@ -171,9 +171,16 @@ func parsePage(q url.Values) (limit int, cursor string, aerr *APIError) {
 	limit = defaultPageLimit
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 || n > defaultPageLimit {
+		// Non-integers, zero, and negatives are caller bugs: reject
+		// with a typed 400 rather than silently serving the default
+		// page. Values past the cap merely clamp — asking for "a lot"
+		// is well-formed, the server just bounds its own work.
+		if err != nil || n < 1 {
 			return 0, "", apiErrorf(http.StatusBadRequest, CodeBadRequest,
-				"bad limit %q (want an integer in [1,%d])", v, defaultPageLimit)
+				"bad limit %q (want a positive integer; pages cap at %d)", v, defaultPageLimit)
+		}
+		if n > defaultPageLimit {
+			n = defaultPageLimit
 		}
 		limit = n
 	}

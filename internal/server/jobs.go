@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -439,13 +440,10 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request, id string)
 		return
 	}
 	if wait := r.URL.Query().Get("wait"); wait != "" && !j.State.Terminal() {
-		d, err := parseWait(wait)
+		d, err := parseWait(wait, s.cfg.MaxTimeout)
 		if err != nil {
 			writeError(w, r, apiErrorf(http.StatusBadRequest, CodeBadRequest, "bad wait %q: %v", wait, err))
 			return
-		}
-		if d > s.cfg.MaxTimeout {
-			d = s.cfg.MaxTimeout
 		}
 		if ch, ok := s.jobq.Await(id); ok && d > 0 {
 			timer := time.NewTimer(d)
@@ -461,17 +459,31 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request, id string)
 	writeJSON(w, r, http.StatusOK, jobResponse(j))
 }
 
-// parseWait accepts "30s"-style durations and bare seconds.
-func parseWait(s string) (time.Duration, error) {
+// parseWait accepts "30s"-style durations and bare seconds, clamped
+// into [0, max]. Negative and overflowing values clamp to max: a
+// caller asking for an out-of-range wait wants "as long as you'll let
+// me", and the alternatives are both bugs — a negative or
+// float-overflowed duration would skip the wait entirely (an
+// immediate-return busy-poll), and an unclamped positive one would
+// pin the connection past the server's long-poll ceiling. Only
+// syntactically malformed values (including NaN, which would
+// otherwise slip through every range check) are errors.
+func parseWait(s string, max time.Duration) (time.Duration, error) {
 	if d, err := time.ParseDuration(s); err == nil {
-		if d < 0 {
-			return 0, fmt.Errorf("negative duration")
+		if d < 0 || d > max {
+			return max, nil
 		}
 		return d, nil
 	}
 	secs, err := strconv.ParseFloat(s, 64)
-	if err != nil || secs < 0 {
+	if err != nil || math.IsNaN(secs) {
 		return 0, fmt.Errorf("want a duration like 30s")
+	}
+	if secs < 0 || secs >= float64(max)/float64(time.Second) {
+		// Covers +Inf and values whose nanosecond count would
+		// overflow (or merely exceed) the ceiling — the conversion
+		// below is only reached when it is exact and in range.
+		return max, nil
 	}
 	return time.Duration(secs * float64(time.Second)), nil
 }

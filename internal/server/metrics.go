@@ -353,3 +353,32 @@ func (s *Server) writeTraceMetrics(w io.Writer) {
 		fmt.Fprintf(w, "biasmitd_slow_request_seconds{trace_id=%q,route=%q} %g\n", td.TraceID, td.Route, td.ElapsedMS/1e3)
 	}
 }
+
+// writeResultCacheMetrics renders the content-addressed result cache:
+// hit/miss/coalesce/evict/invalidate counters and the entry/byte
+// gauges. Written after the overload block by /metrics.
+func (s *Server) writeResultCacheMetrics(w io.Writer) {
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	enabled := int64(0)
+	if s.rescache != nil {
+		enabled = 1
+	}
+	gauge("biasmitd_result_cache_enabled", "1 when the content-addressed mitigation result cache is on.", enabled)
+	if s.rescache == nil {
+		return
+	}
+	st := s.rescache.Stats()
+	counter("biasmitd_result_cache_hits_total", "Mitigation responses replayed byte-for-byte from the result cache.", st.Hits)
+	counter("biasmitd_result_cache_misses_total", "Mitigation requests that executed the pipeline (singleflight leaders).", st.Misses)
+	counter("biasmitd_result_cache_coalesced_total", "Mitigation requests that attached to an identical in-flight execution.", st.Coalesced)
+	counter("biasmitd_result_cache_evictions_total", "Result-cache entries dropped by the LRU bound.", st.Evicted)
+	counter("biasmitd_result_cache_invalidations_total", "Result-cache entries dropped because their profile generation went stale.", st.Invalidated)
+	counter("biasmitd_result_cache_errors_total", "Cached-path executions that finished with an error (never stored).", st.Errors)
+	gauge("biasmitd_result_cache_entries", "Results currently cached.", int64(st.Entries))
+	gauge("biasmitd_result_cache_bytes", "Payload bytes currently cached.", st.Bytes)
+}

@@ -22,6 +22,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"hash/fnv"
 	"net/http"
@@ -48,6 +49,7 @@ import (
 	"biasmit/internal/overload"
 	"biasmit/internal/profilestore"
 	"biasmit/internal/qasm"
+	"biasmit/internal/rescache"
 	"biasmit/internal/resilient"
 )
 
@@ -165,6 +167,17 @@ type Config struct {
 	// (defaults 1s / 30s).
 	WatchdogInterval time.Duration
 	WatchdogStall    time.Duration
+	// ResultCache enables the content-addressed mitigation result
+	// cache (internal/rescache): responses to identical requests are
+	// replayed byte-for-byte, identical in-flight requests coalesce
+	// onto one pipeline execution, and entries keyed to an RBMS
+	// profile are invalidated the moment that profile's generation
+	// moves. Off by default in the zero Config; cmd/biasmitd enables
+	// it unless -result-cache=false.
+	ResultCache bool
+	// ResultCacheSize bounds the result cache's entry count (LRU past
+	// it; default 1024).
+	ResultCacheSize int
 	// Logger is the server's structured logger: every completed request
 	// and job execution emits one JSON line through it, keyed by trace
 	// ID. Defaults to info-level JSON on stderr.
@@ -212,6 +225,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAttempts <= 0 {
 		c.RetryAttempts = 4
 	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 1024
+	}
 	if len(c.MachineNames) == 0 {
 		for _, dev := range device.AllMachines() {
 			c.MachineNames = append(c.MachineNames, dev.Name)
@@ -257,6 +273,12 @@ type Server struct {
 	// ring, the slow-request exemplars, and the per-stage histograms.
 	traces *obs.Recorder
 
+	// rescache, when non-nil, is the content-addressed result cache
+	// the sync and async mitigate paths share: byte-replay of
+	// identical requests, singleflight coalescing of identical
+	// in-flight ones, profile-generation invalidation.
+	rescache *rescache.Cache
+
 	// Overload control (all optional; nil disables each):
 	// limiter replaces the static admission gate with adaptive
 	// concurrency + priority shedding, budget caps retry traffic,
@@ -286,6 +308,9 @@ func New(cfg Config) *Server {
 		runMetrics: &resilient.Metrics{},
 		execs:      make(map[string]*machineExec),
 		traces:     obs.NewRecorder(cfg.TraceBuffer, cfg.SlowRequest),
+	}
+	if cfg.ResultCache {
+		s.rescache = rescache.New(rescache.Options{MaxEntries: cfg.ResultCacheSize})
 	}
 	if cfg.AutoInflight {
 		s.limiter = overload.NewLimiter(overload.LimiterConfig{
@@ -747,9 +772,13 @@ func (s *Server) profileInfo(p *profilestore.Profile) ProfileInfo {
 }
 
 // outcomeRows renders the top outcomes of a histogram.
+// defaultTopOutcomes is how many outcome rows a response lists when
+// the request leaves top unset; the cache key normalizes onto it.
+const defaultTopOutcomes = 10
+
 func outcomeRows(counts *dist.Counts, top int) ([]OutcomeCount, int) {
 	if top <= 0 {
-		top = 10
+		top = defaultTopOutcomes
 	}
 	d := counts.Dist()
 	outcomes := counts.Outcomes()
@@ -822,6 +851,19 @@ func (s *Server) mitigate(ctx context.Context, req *MitigateRequest) (*MitigateR
 		seed = 1
 	}
 
+	if s.rescache != nil {
+		return s.mitigateCached(ctx, req, dev, bench, seed)
+	}
+	return s.mitigateExec(ctx, req, dev, bench, seed)
+}
+
+// mitigateExec runs one validated mitigation request through the full
+// pipeline: admission, brownout policy resolution, placement,
+// sample, correct. It is the compute function behind the result cache
+// — everything nondeterministic about a response (brownout tier,
+// degraded profile serving) is visible on the returned struct, which
+// mitigateCached inspects to decide cacheability.
+func (s *Server) mitigateExec(ctx context.Context, req *MitigateRequest, dev *device.Device, bench kernels.Benchmark, seed int64) (*MitigateResponse, error) {
 	ctx, cancel := s.deadline(ctx, req.TimeoutMS)
 	defer cancel()
 	qsp := obs.StartSpan(ctx, "queue_wait")
@@ -931,6 +973,149 @@ func (s *Server) mitigate(ctx context.Context, req *MitigateRequest) (*MitigateR
 	}
 	csp.End()
 	resp.ElapsedMS = float64(time.Since(started).Microseconds()) / 1000
+	return resp, nil
+}
+
+// mitigateCacheKey is the canonical identity a mitigation result is
+// content-addressed by: every request field that feeds the
+// deterministic pipeline, normalized so requests that differ only in
+// spelling (seed 0 vs 1, modes 0 vs 4, an explicit "auto" method)
+// share an entry. Fields that cannot change the bytes — timeouts,
+// trace IDs, tenant — are deliberately absent. The api version is
+// included so a protocol bump can never replay old-shape bytes.
+type mitigateCacheKey struct {
+	V       string  `json:"v"`
+	Machine string  `json:"machine"`
+	Bench   string  `json:"bench,omitempty"`
+	QASM    string  `json:"qasm,omitempty"`
+	Policy  string  `json:"policy"`
+	Shots   int     `json:"shots"`
+	Seed    int64   `json:"seed"`
+	Modes   int     `json:"modes,omitempty"`
+	Canary  float64 `json:"canary,omitempty"`
+	K       int     `json:"k,omitempty"`
+	Method  string  `json:"method,omitempty"`
+	Require bool    `json:"require,omitempty"`
+	Top     int     `json:"top,omitempty"`
+}
+
+// resultCacheKey builds the content hash for a validated request plus
+// the profile-store key (and its current generation) an AIM run would
+// consume. Baseline and SIM runs touch no profile; their generation is
+// pinned to 0 and hasProf is false.
+func (s *Server) resultCacheKey(req *MitigateRequest, dev *device.Device, bench kernels.Benchmark, seed int64) (key string, gen uint64, profKey profilestore.Key, hasProf bool, err error) {
+	ck := mitigateCacheKey{
+		V:       api.Version,
+		Machine: dev.Name,
+		Bench:   req.Benchmark,
+		QASM:    req.QASM,
+		Policy:  req.Policy,
+		Shots:   req.Shots,
+		Seed:    seed,
+		Top:     req.Top,
+	}
+	if ck.Top <= 0 {
+		ck.Top = defaultTopOutcomes
+	}
+	switch req.Policy {
+	case "sim":
+		ck.Modes = req.Modes
+		if ck.Modes == 0 {
+			ck.Modes = 4
+		}
+	case "aim":
+		ck.Canary = req.CanaryFraction
+		ck.K = req.K
+		ck.Require = req.RequireCachedProfile
+		method, merr := resolveProfileMethod(req.ProfileMethod, bench.Width())
+		if merr != nil {
+			return "", 0, profilestore.Key{}, false, merr
+		}
+		ck.Method = method
+		profKey = profilestore.Key{Machine: dev.Name, Width: bench.Width(), Method: method}
+		hasProf = true
+		gen = s.store.Generation(profKey)
+	}
+	key, herr := rescache.HashKey(ck)
+	if herr != nil {
+		return "", 0, profilestore.Key{}, false, herr
+	}
+	return key, gen, profKey, hasProf, nil
+}
+
+// mitigateCached fronts mitigateExec with the result cache: a content
+// hash of the canonical request plus the AIM profile's generation
+// addresses the stored bytes, identical in-flight requests coalesce
+// onto one execution, and responses that are not pure functions of
+// the request (brownout-degraded policy, stale-profile serving) fan
+// out without being stored. Cached bytes are the marshaled response
+// exactly as first computed — ElapsedMS included — so a hit is
+// byte-identical to the original; only the per-request envelope and
+// the cache_hit/coalesced metadata differ.
+func (s *Server) mitigateCached(ctx context.Context, req *MitigateRequest, dev *device.Device, bench kernels.Benchmark, seed int64) (*MitigateResponse, error) {
+	csp := obs.StartSpan(ctx, "cache")
+	key, gen, profKey, hasProf, err := s.resultCacheKey(req, dev, bench, seed)
+	csp.End()
+	if err != nil {
+		// A key that cannot be built (bad profile method) fails the
+		// same way uncached execution would — run it for the typed
+		// error.
+		return s.mitigateExec(ctx, req, dev, bench, seed)
+	}
+
+	compute := func(cctx context.Context) (rescache.Computed, error) {
+		resp, rerr := s.mitigateExec(cctx, req, dev, bench, seed)
+		if rerr != nil {
+			return rescache.Computed{}, rerr
+		}
+		// Only pure-function-of-the-request responses are stored:
+		// brownout degradation and stale-profile serving depend on
+		// server state at execution time.
+		store := resp.ServedPolicy == resp.Policy && !resp.Degraded && resp.BrownoutTier == 0
+		storeGen := gen
+		if store && hasProf {
+			switch cur := s.store.Generation(profKey); {
+			case cur == gen:
+				// Warm path: the profile the lookup keyed on is the one
+				// the run consumed.
+			case resp.Profile != nil && !resp.Profile.Cached:
+				// The run characterized in-line, publishing the profile
+				// itself (cold start: generation 0 → 1). The bytes
+				// belong to the new generation; storing them there
+				// keeps the entry alive instead of stillborn.
+				storeGen = cur
+			default:
+				// Someone else republished the profile mid-run: the
+				// result was computed against the old profile and is
+				// stale under either generation.
+				store = false
+			}
+		}
+		data, merr := json.Marshal(resp)
+		if merr != nil {
+			return rescache.Computed{}, merr
+		}
+		return rescache.Computed{Value: data, Gen: storeGen, Store: store}, nil
+	}
+
+	data, outcome, err := s.rescache.Do(ctx, key, gen, compute)
+	obs.Annotate(ctx, "result cache: %s", outcome)
+	if err != nil {
+		return nil, toAPIError(err)
+	}
+	// Unmarshal a fresh struct per request: the cached bytes are
+	// shared, and writeJSON stamps a per-request envelope on whatever
+	// struct it is handed.
+	resp := new(MitigateResponse)
+	if uerr := json.Unmarshal(data, resp); uerr != nil {
+		return nil, apiErrorf(http.StatusInternalServerError, CodeInternal, "decoding cached result: %v", uerr)
+	}
+	switch outcome {
+	case rescache.Hit:
+		resp.CacheHit = true
+	case rescache.Coalesced:
+		resp.Coalesced = true
+	}
 	return resp, nil
 }
 
@@ -1166,6 +1351,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.write(w, s.store.StatsSnapshot(), s.runMetrics.Snapshot(), s.breakerInfos(), persistStats,
 		s.jobq.Stats(), s.cfg.JobsLog != nil)
 	s.writeOverloadMetrics(w)
+	s.writeResultCacheMetrics(w)
 	s.writeTraceMetrics(w)
 }
 
